@@ -1,0 +1,257 @@
+//! The paper's running example as a reusable fixture: the
+//! `CustomerProfile` logical data service integrating two relational
+//! databases and a credit-rating web service (Figures 1–3).
+
+use xdm::error::XdmResult;
+use xdm::qname::QName;
+
+use crate::rel::{Column, ColumnType, Database, ForeignKey, SqlValue, TableSchema};
+use crate::service::DataSpace;
+use crate::ws::WebService;
+
+/// Namespace of the credit-rating request/response types.
+pub const CREDIT_TYPES_NS: &str = "urn:creditrating/types";
+
+/// The Figure-3 primary read function (plus `getProfileById`), adapted
+/// only in the mechanical ways the paper's IDE would have handled:
+/// namespace declarations spelled out and the figure's OCR-mangled
+/// closing tags repaired.
+pub const GET_PROFILE_SRC: &str = r#"
+declare namespace ns1 = "ld:CustomerProfile";
+declare namespace cus = "ld:db1/CUSTOMER";
+declare namespace cre = "ld:db2/CREDIT_CARD";
+declare namespace cre2 = "urn:creditrating/types";
+declare namespace cre3 = "ld:ws/CreditRating";
+
+declare function ns1:getProfile() as element(CustomerProfile)* {
+  for $CUSTOMER in cus:CUSTOMER()
+  return <CustomerProfile>
+             <CID>{fn:data($CUSTOMER/CID)}</CID>
+             <LAST_NAME>{fn:data($CUSTOMER/LAST_NAME)}</LAST_NAME>
+             <FIRST_NAME>{fn:data($CUSTOMER/FIRST_NAME)}</FIRST_NAME>
+             <Orders>{
+               for $ORDER in cus:getORDER($CUSTOMER)
+               return <ORDER>
+                         <OID>{fn:data($ORDER/OID)}</OID>
+                         <CID>{fn:data($ORDER/CID)}</CID>
+                         <ORDER_DATE>{fn:data($ORDER/ORDER_DATE)}</ORDER_DATE>
+                         <TOTAL>{fn:data($ORDER/TOTAL_ORDER_AMOUNT)}</TOTAL>
+                         <STATUS>{fn:data($ORDER/STATUS)}</STATUS>
+                      </ORDER>
+             }</Orders>
+             <CreditCards>{
+               for $CREDIT_CARD in cre:CREDIT_CARD()
+               where $CUSTOMER/CID eq $CREDIT_CARD/CID
+               return <CREDIT_CARD>
+                         <CCID>{fn:data($CREDIT_CARD/CCID)}</CCID>
+                         <CID>{fn:data($CREDIT_CARD/CID)}</CID>
+                         <TYPE>{fn:data($CREDIT_CARD/CC_TYPE)}</TYPE>
+                         <BRAND>{fn:data($CREDIT_CARD/CC_BRAND)}</BRAND>
+                         <NUMBER>{fn:data($CREDIT_CARD/CC_NUMBER)}</NUMBER>
+                         <EXP_DATE>{fn:data($CREDIT_CARD/EXP_DATE)}</EXP_DATE>
+                      </CREDIT_CARD>
+             }</CreditCards>
+             {
+               for $getCreditRatingResponse in cre3:getCreditRating(<cre2:getCreditRating>
+                     <cre2:lastName>{fn:data($CUSTOMER/LAST_NAME)}</cre2:lastName>
+                     <cre2:ssn>{fn:data($CUSTOMER/SSN)}</cre2:ssn>
+                   </cre2:getCreditRating>)
+               return <CreditRating>{fn:data($getCreditRatingResponse/cre2:value)}</CreditRating>
+             }
+        </CustomerProfile>
+};
+
+declare function ns1:getProfileById($cid as xs:string) as element(CustomerProfile)* {
+  for $CustomerProfile in ns1:getProfile()
+  where $cid eq $CustomerProfile/CID
+  return $CustomerProfile
+};
+"#;
+
+/// A built demo dataspace.
+pub struct Demo {
+    /// The dataspace with all sources and the logical service
+    /// registered.
+    pub space: DataSpace,
+    /// Database holding CUSTOMER and ORDER.
+    pub db1: Database,
+    /// Database holding CREDIT_CARD.
+    pub db2: Database,
+    /// Number of customers loaded.
+    pub customers: usize,
+}
+
+/// CUSTOMER schema (db1).
+pub fn customer_schema() -> TableSchema {
+    TableSchema {
+        name: "CUSTOMER".into(),
+        columns: vec![
+            Column::required("CID", ColumnType::Integer),
+            Column::required("FIRST_NAME", ColumnType::Varchar),
+            Column::required("LAST_NAME", ColumnType::Varchar),
+            Column::nullable("SSN", ColumnType::Varchar),
+        ],
+        primary_key: vec!["CID".into()],
+        foreign_keys: vec![],
+    }
+}
+
+/// ORDER schema (db1) with FK to CUSTOMER.
+pub fn order_schema() -> TableSchema {
+    TableSchema {
+        name: "ORDER".into(),
+        columns: vec![
+            Column::required("OID", ColumnType::Integer),
+            Column::required("CID", ColumnType::Integer),
+            Column::nullable("ORDER_DATE", ColumnType::Date),
+            Column::nullable("TOTAL_ORDER_AMOUNT", ColumnType::Decimal),
+            Column::nullable("STATUS", ColumnType::Varchar),
+        ],
+        primary_key: vec!["OID".into()],
+        foreign_keys: vec![ForeignKey {
+            name: "FK_ORDER_CUSTOMER".into(),
+            columns: vec!["CID".into()],
+            ref_table: "CUSTOMER".into(),
+            ref_columns: vec!["CID".into()],
+        }],
+    }
+}
+
+/// CREDIT_CARD schema (db2).
+pub fn credit_card_schema() -> TableSchema {
+    TableSchema {
+        name: "CREDIT_CARD".into(),
+        columns: vec![
+            Column::required("CCID", ColumnType::Integer),
+            Column::required("CID", ColumnType::Integer),
+            Column::nullable("CC_TYPE", ColumnType::Varchar),
+            Column::nullable("CC_BRAND", ColumnType::Varchar),
+            Column::nullable("CC_NUMBER", ColumnType::Varchar),
+            Column::nullable("EXP_DATE", ColumnType::Date),
+        ],
+        primary_key: vec!["CCID".into()],
+        foreign_keys: vec![],
+    }
+}
+
+/// Deterministic last names (stable across runs so the credit-rating
+/// hash and tests are reproducible).
+const LAST_NAMES: &[&str] = &[
+    "Carey", "Borkar", "Engovatov", "Lychagin", "Westmann", "Wong", "Smith", "Jones",
+];
+
+/// Build the demo dataspace with `n` customers, `orders_per` orders
+/// and `cards_per` credit cards per customer.
+pub fn build(n: usize, orders_per: usize, cards_per: usize) -> XdmResult<Demo> {
+    let db1 = Database::new("db1");
+    db1.create_table(customer_schema())?;
+    db1.create_table(order_schema())?;
+    let db2 = Database::new("db2");
+    db2.create_table(credit_card_schema())?;
+
+    let mut oid = 1i64;
+    let mut ccid = 1i64;
+    for cid in 1..=(n as i64) {
+        let last = LAST_NAMES[(cid as usize - 1) % LAST_NAMES.len()];
+        db1.insert(
+            "CUSTOMER",
+            vec![
+                SqlValue::Int(cid),
+                SqlValue::Str(format!("First{cid}")),
+                SqlValue::Str(last.to_string()),
+                SqlValue::Str(format!("{:03}-55-{:04}", cid % 900, cid % 10_000)),
+            ],
+        )?;
+        for k in 0..orders_per {
+            db1.insert(
+                "ORDER",
+                vec![
+                    SqlValue::Int(oid),
+                    SqlValue::Int(cid),
+                    SqlValue::Date(xdm::datetime::Date::new(
+                        2007,
+                        (k % 12) as u8 + 1,
+                        (oid % 27) as u8 + 1,
+                    )?),
+                    SqlValue::Dec(xdm::decimal::Decimal::from_parts(
+                        999 + 37 * oid as i128,
+                        2,
+                    )),
+                    SqlValue::Str(if oid % 3 == 0 { "SHIPPED" } else { "OPEN" }.into()),
+                ],
+            )?;
+            oid += 1;
+        }
+        for _ in 0..cards_per {
+            db2.insert(
+                "CREDIT_CARD",
+                vec![
+                    SqlValue::Int(ccid),
+                    SqlValue::Int(cid),
+                    SqlValue::Str("CREDIT".into()),
+                    SqlValue::Str(if ccid % 2 == 0 { "VISTA" } else { "MASTERCHARGE" }.into()),
+                    SqlValue::Str(format!("4000-{ccid:012}")),
+                    SqlValue::Date(xdm::datetime::Date::new(2010, 12, 1)?),
+                ],
+            )?;
+            ccid += 1;
+        }
+    }
+
+    let space = DataSpace::new();
+    space.register_relational_source(&db1)?;
+    space.register_relational_source(&db2)?;
+    space.register_web_service(WebService::credit_rating(CREDIT_TYPES_NS))?;
+    space.register_logical_service(
+        "CustomerProfile",
+        GET_PROFILE_SRC,
+        &QName::with_ns("ld:CustomerProfile", "getProfile"),
+    )?;
+    Ok(Demo { space, db1, db2, customers: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_builds_and_reads() {
+        let demo = build(3, 2, 2).unwrap();
+        assert_eq!(demo.db1.row_count("CUSTOMER").unwrap(), 3);
+        assert_eq!(demo.db1.row_count("ORDER").unwrap(), 6);
+        assert_eq!(demo.db2.row_count("CREDIT_CARD").unwrap(), 6);
+        let g = demo.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+        assert_eq!(g.len(), 3);
+        // Shape checks.
+        assert_eq!(g.get_value(0, &["CID"]).unwrap(), "1");
+        assert_eq!(g.get_value(0, &["LAST_NAME"]).unwrap(), "Carey");
+        assert_eq!(g.get_value(0, &["Orders", "ORDER#1", "OID"]).unwrap(), "2");
+        assert_eq!(g.get_value(0, &["CreditCards", "CREDIT_CARD", "CCID"]).unwrap(), "1");
+        let rating: u32 = g.get_value(0, &["CreditRating"]).unwrap().parse().unwrap();
+        assert!((300..=850).contains(&rating));
+    }
+
+    #[test]
+    fn get_profile_by_id() {
+        let demo = build(4, 1, 1).unwrap();
+        let g = demo
+            .space
+            .get(
+                "CustomerProfile",
+                "getProfileById",
+                vec![xdm::sequence::Sequence::one(xdm::sequence::Item::string("3"))],
+            )
+            .unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get_value(0, &["CID"]).unwrap(), "3");
+    }
+
+    #[test]
+    fn lineage_spans_both_sources() {
+        let demo = build(1, 1, 1).unwrap();
+        let lin = demo.space.lineage("CustomerProfile").unwrap();
+        assert_eq!(lin.sources(), vec!["db1", "db2"]);
+        assert_eq!(lin.root.table, "CUSTOMER");
+        assert_eq!(lin.root.unmapped, vec!["CreditRating"]);
+    }
+}

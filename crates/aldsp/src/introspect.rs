@@ -1,0 +1,367 @@
+//! Source introspection (§II.A).
+//!
+//! "When pointed at a data source … ALDSP first introspects the
+//! source's metadata … Introspecting a relational data source yields
+//! one entity data service (with one read method and three update
+//! methods, create, update, and delete) per table or view. … In the
+//! presence of foreign key constraints, RDBMS introspection also
+//! produces navigation functions … Introspecting a Web service data
+//! source (based on WSDL) yields a library data service with multiple
+//! methods, one per Web service operation."
+//!
+//! Registration binds each generated method to the shared engine as an
+//! external function (reads, navigations) or external procedure
+//! (create/update/delete — "a set of external XQSE procedures …
+//! automatically provided … as a callable means to modify relational
+//! source data", §III.A).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xdm::error::{ErrorCode, XdmError, XdmResult};
+use xdm::node::NodeHandle;
+use xdm::qname::QName;
+use xdm::sequence::{Item, Sequence};
+
+use xqeval::Engine;
+
+use crate::lineage::SourceRef;
+use crate::rel::{Condition, Database, SqlValue, TableSchema, WriteOp};
+use crate::service::{DataService, Method, MethodKind, ServiceKind, SourceBinding};
+use crate::ws::WebService;
+use crate::xmlmap::{self, service_namespace};
+
+/// Introspect every table of a relational source into entity data
+/// services and register their methods on the engine.
+pub fn introspect_relational(
+    engine: &Engine,
+    db: &Database,
+) -> XdmResult<Vec<DataService>> {
+    let mut out = Vec::new();
+    let table_names = db.table_names();
+    for table in &table_names {
+        let schema = db.schema(table)?;
+        crate::decompose::register_schema(&db.name, &schema);
+        let ns = service_namespace(&db.name, table);
+        let mut methods = Vec::new();
+
+        // Read method: TABLE() returns all rows as XML.
+        register_read_all(engine, db, &schema, &ns);
+        methods.push(Method { name: table.clone(), kind: MethodKind::Read, arity: 0 });
+
+        // Keyed read helper for single-column PKs: getBy<PK>($v) — the
+        // shape the paper's use cases call (ens1:getByEmployeeID).
+        if schema.primary_key.len() == 1 {
+            let pk = schema.primary_key[0].clone();
+            register_read_by_key(engine, db, &schema, &ns, &pk);
+            methods.push(Method {
+                name: format!("getBy{pk}"),
+                kind: MethodKind::Read,
+                arity: 1,
+            });
+        }
+
+        // C/U/D procedures.
+        register_cud(engine, db, &schema, &ns);
+        for (n, k) in [
+            (format!("create{table}"), MethodKind::Create),
+            (format!("update{table}"), MethodKind::Update),
+            (format!("delete{table}"), MethodKind::Delete),
+        ] {
+            methods.push(Method { name: n, kind: k, arity: 1 });
+        }
+
+        // Navigation functions from foreign keys: in the service of
+        // the *referenced* table, get<CHILD>($parent) returns the
+        // referencing rows (cus:getORDER($CUSTOMER) in Figure 3).
+        for other in &table_names {
+            let other_schema = db.schema(other)?;
+            for fk in &other_schema.foreign_keys {
+                if &fk.ref_table == table {
+                    register_navigation(engine, db, &schema, &other_schema, fk, &ns);
+                    methods.push(Method {
+                        name: format!("get{other}"),
+                        kind: MethodKind::Navigation,
+                        arity: 1,
+                    });
+                }
+            }
+        }
+
+        out.push(DataService {
+            name: format!("{}/{}", db.name, table),
+            namespace: ns,
+            kind: ServiceKind::Entity,
+            shape: Some(table.clone()),
+            methods,
+            binding: SourceBinding::Relational { db: db.clone(), table: table.clone() },
+        });
+    }
+    Ok(out)
+}
+
+fn one_element(args: &[Sequence], what: &str) -> XdmResult<NodeHandle> {
+    let item = args
+        .first()
+        .ok_or_else(|| XdmError::new(ErrorCode::XPST0017, format!("{what}: missing argument")))?
+        .exactly_one()?;
+    match item {
+        Item::Node(n) => Ok(n.clone()),
+        _ => Err(XdmError::new(
+            ErrorCode::XPTY0004,
+            format!("{what}: argument must be an element"),
+        )),
+    }
+}
+
+fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &str) {
+    let db = db.clone();
+    let schema = schema.clone();
+    let ns = ns.to_string();
+    let table = schema.name.clone();
+    engine.register_external_function(
+        QName::with_ns(ns.clone(), table.clone()),
+        0,
+        Rc::new(move |_env, _args| {
+            let rows = db.scan(&table)?;
+            Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
+        }),
+    );
+}
+
+fn register_read_by_key(
+    engine: &Engine,
+    db: &Database,
+    schema: &TableSchema,
+    ns: &str,
+    pk: &str,
+) {
+    let db = db.clone();
+    let schema = schema.clone();
+    let ns = ns.to_string();
+    let table = schema.name.clone();
+    let pk = pk.to_string();
+    let pk_ty = schema.column(&pk).expect("pk exists").ty;
+    engine.register_external_function(
+        QName::with_ns(ns.clone(), format!("getBy{pk}")),
+        1,
+        Rc::new(move |_env, args| {
+            let key = args[0].string_value()?;
+            if key.is_empty() {
+                return Ok(Sequence::empty());
+            }
+            let v = SqlValue::parse(pk_ty, &key)?;
+            let rows = db.select(&table, &vec![(pk.clone(), v)])?;
+            Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
+        }),
+    );
+}
+
+fn register_cud(engine: &Engine, db: &Database, schema: &TableSchema, ns: &str) {
+    let table = schema.name.clone();
+    // create<TABLE>($row as element(TABLE)) → key element.
+    {
+        let db = db.clone();
+        let schema = schema.clone();
+        let ns = ns.to_string();
+        let table = table.clone();
+        engine.register_external_procedure(
+            QName::with_ns(ns.clone(), format!("create{table}")),
+            1,
+            false,
+            Rc::new(move |_env, args| {
+                let elem = one_element(&args, &format!("create{table}"))?;
+                let row = xmlmap::xml_to_row(&schema, &elem)?;
+                db.execute(vec![WriteOp::Insert { table: table.clone(), row: row.clone() }])?;
+                // Return the key element <TABLE_KEY>…</TABLE_KEY>.
+                let key = NodeHandle::root_element(QName::new(format!("{table}_KEY")));
+                let arena = key.arena().clone();
+                for pk in &schema.primary_key {
+                    let i = schema.col_index(pk).expect("pk exists");
+                    let c = NodeHandle::new_element(&arena, QName::new(pk.clone()));
+                    c.append_child(&NodeHandle::new_text(&arena, row[i].lexical()))?;
+                    key.append_child(&c)?;
+                }
+                Ok(Sequence::one(Item::Node(key)))
+            }),
+        );
+    }
+    // update<TABLE>($row): keyed update of all non-key columns.
+    {
+        let db = db.clone();
+        let schema = schema.clone();
+        let table = table.clone();
+        engine.register_external_procedure(
+            QName::with_ns(ns.to_string(), format!("update{table}")),
+            1,
+            false,
+            Rc::new(move |_env, args| {
+                let elem = one_element(&args, &format!("update{table}"))?;
+                let row = xmlmap::xml_to_row(&schema, &elem)?;
+                let cond = pk_condition(&schema, &row)?;
+                let set: Condition = schema
+                    .columns
+                    .iter()
+                    .zip(&row)
+                    .filter(|(c, _)| !schema.primary_key.contains(&c.name))
+                    .map(|(c, v)| (c.name.clone(), v.clone()))
+                    .collect();
+                db.execute(vec![WriteOp::Update {
+                    table: table.clone(),
+                    set,
+                    cond,
+                    expect_rows: 1,
+                }])?;
+                Ok(Sequence::empty())
+            }),
+        );
+    }
+    // delete<TABLE>($row): keyed delete.
+    {
+        let db = db.clone();
+        let schema = schema.clone();
+        let table = table.clone();
+        engine.register_external_procedure(
+            QName::with_ns(ns.to_string(), format!("delete{table}")),
+            1,
+            false,
+            Rc::new(move |_env, args| {
+                let elem = one_element(&args, &format!("delete{table}"))?;
+                let cond: Condition = schema
+                    .primary_key
+                    .iter()
+                    .map(|pk| {
+                        xmlmap::xml_field(&schema, &elem, pk).map(|v| (pk.clone(), v))
+                    })
+                    .collect::<XdmResult<_>>()?;
+                db.execute(vec![WriteOp::Delete {
+                    table: table.clone(),
+                    cond,
+                    expect_rows: 1,
+                }])?;
+                Ok(Sequence::empty())
+            }),
+        );
+    }
+}
+
+fn pk_condition(schema: &TableSchema, row: &[SqlValue]) -> XdmResult<Condition> {
+    schema
+        .primary_key
+        .iter()
+        .map(|pk| {
+            let i = schema.col_index(pk).ok_or_else(|| {
+                XdmError::new(ErrorCode::DSP0003, format!("missing pk column {pk}"))
+            })?;
+            if row[i].is_null() {
+                return Err(XdmError::new(
+                    ErrorCode::DSP0003,
+                    format!("NULL primary key {pk}"),
+                ));
+            }
+            Ok((pk.clone(), row[i].clone()))
+        })
+        .collect()
+}
+
+fn register_navigation(
+    engine: &Engine,
+    db: &Database,
+    parent_schema: &TableSchema,
+    child_schema: &TableSchema,
+    fk: &crate::rel::ForeignKey,
+    parent_ns: &str,
+) {
+    let db = db.clone();
+    let parent_schema = parent_schema.clone();
+    let child_schema = child_schema.clone();
+    let fk = fk.clone();
+    let child_ns = service_namespace(&db.name, &child_schema.name);
+    let fname = format!("get{}", child_schema.name);
+    engine.register_external_function(
+        QName::with_ns(parent_ns.to_string(), fname.clone()),
+        1,
+        Rc::new(move |_env, args| {
+            let parent = one_element(&args, &fname)?;
+            // FK columns of the child match the referenced (key)
+            // values read from the parent element.
+            let cond: Condition = fk
+                .columns
+                .iter()
+                .zip(&fk.ref_columns)
+                .map(|(child_col, parent_col)| {
+                    xmlmap::xml_field(&parent_schema, &parent, parent_col)
+                        .map(|v| (child_col.clone(), v))
+                })
+                .collect::<XdmResult<_>>()?;
+            let rows = db.select(&child_schema.name, &cond)?;
+            Ok(xmlmap::rows_to_sequence(&child_schema, &child_ns, &rows))
+        }),
+    );
+}
+
+/// Introspect a web service into a library data service.
+pub fn introspect_web_service(
+    engine: &Engine,
+    ws: &Rc<WebService>,
+) -> XdmResult<DataService> {
+    let ns = format!("ld:ws/{}", ws.name);
+    let mut methods = Vec::new();
+    for op_name in ws.operation_names() {
+        let ws2 = ws.clone();
+        let op2 = op_name.clone();
+        engine.register_external_function(
+            QName::with_ns(ns.clone(), op_name.clone()),
+            1,
+            Rc::new(move |_env, args| ws2.call(&op2, &args[0])),
+        );
+        methods.push(Method {
+            name: op_name,
+            kind: MethodKind::LibraryFunction,
+            arity: 1,
+        });
+    }
+    Ok(DataService {
+        name: format!("ws/{}", ws.name),
+        namespace: ns,
+        kind: ServiceKind::Library,
+        shape: None,
+        methods,
+        binding: SourceBinding::Ws { name: ws.name.clone() },
+    })
+}
+
+/// Build the function-name → source resolver the lineage analyzer
+/// needs: which registered QNames are table reads, and which are
+/// navigation functions (and to where).
+pub fn source_resolver(
+    services: &HashMap<String, DataService>,
+) -> HashMap<QName, SourceRef> {
+    let mut map = HashMap::new();
+    for svc in services.values() {
+        let SourceBinding::Relational { db, table } = &svc.binding else { continue };
+        for m in &svc.methods {
+            match m.kind {
+                MethodKind::Read if m.arity == 0 => {
+                    map.insert(
+                        QName::with_ns(svc.namespace.clone(), m.name.clone()),
+                        SourceRef::TableScan { source: db.name.clone(), table: table.clone() },
+                    );
+                }
+                MethodKind::Navigation => {
+                    // get<CHILD> navigates to the child table.
+                    let child = m.name.trim_start_matches("get").to_string();
+                    map.insert(
+                        QName::with_ns(svc.namespace.clone(), m.name.clone()),
+                        SourceRef::Navigation {
+                            source: db.name.clone(),
+                            child_table: child,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}

@@ -1,0 +1,51 @@
+//! # aldsp — the AquaLogic Data Services Platform substrate
+//!
+//! Everything the XQSE paper's host platform provides around the
+//! language (paper §II), rebuilt in Rust:
+//!
+//! - [`rel`] — an in-memory relational source simulator: tables with
+//!   primary/foreign-key metadata, constraint checking, conditioned
+//!   updates, and **XA-style two-phase commit** with prepared-state row
+//!   locking (§II.C: "the entire update operation will run as one
+//!   atomic transaction across the affected sources");
+//! - [`ws`] — a web-service source simulator with WSDL-like operation
+//!   metadata (the credit-rating service of Figure 2/3);
+//! - [`xmlmap`] — the "natural XML view of a row" used by physical
+//!   data services;
+//! - [`introspect`] — source introspection: one entity data service
+//!   (read + create/update/delete + navigation functions from foreign
+//!   keys) per table; one library data service per web service;
+//! - [`service`] — the data-service model and the [`service::DataSpace`]
+//!   that binds everything into an XQSE engine;
+//! - [`sdo`] — Service Data Objects: disconnected data graphs with
+//!   change summaries (Figure 4);
+//! - [`lineage`] — analysis of a primary read function's XQuery AST to
+//!   recover data lineage (which element came from which
+//!   table/column);
+//! - [`decompose`] — update decomposition: change summary + lineage →
+//!   per-source conditioned SQL updates executed under 2PC, with the
+//!   three optimistic-concurrency policies and update overrides;
+//! - [`demo`] — the paper's running example (customer profiles across
+//!   two relational databases and a credit-rating web service) as a
+//!   reusable fixture for tests, examples, and benchmarks.
+
+pub mod ddl;
+pub mod decompose;
+pub mod demo;
+pub mod introspect;
+pub mod lineage;
+pub mod rel;
+pub mod sdo;
+pub mod service;
+pub mod ws;
+pub mod wsdl;
+pub mod xmlmap;
+
+pub use decompose::{OccPolicy, UpdateOverride};
+pub use rel::{Column, ColumnType, Database, ForeignKey, SqlValue, TableSchema};
+pub use sdo::DataGraph;
+pub use service::{DataService, DataSpace, MethodKind, ServiceKind};
+pub use ws::WebService;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,1115 @@
+//! The relational source simulator.
+//!
+//! ALDSP's physical layer speaks to JDBC databases; this module is the
+//! closest in-process equivalent that exercises the same code paths:
+//! schema metadata (columns, primary keys, foreign keys) driving
+//! introspection, conditioned `UPDATE … WHERE` statements carrying the
+//! optimistic-concurrency "sameness" predicates, constraint
+//! enforcement, and **XA two-phase commit**.
+//!
+//! Concurrency model: one global lock per database around each call
+//! (calls are short), plus a *prepared-lock table* that pins the rows
+//! touched by a prepared-but-undecided transaction so a concurrent
+//! transaction cannot slip between `prepare` and `commit` — the
+//! standard presumed-abort XA discipline.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use xdm::datetime::{Date, DateTime};
+use xdm::decimal::Decimal;
+use xdm::error::{ErrorCode, XdmError, XdmResult};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Integer,
+    /// Exact decimal.
+    Decimal,
+    /// Variable-length string.
+    Varchar,
+    /// Boolean.
+    Boolean,
+    /// Calendar date.
+    Date,
+    /// Timestamp (second precision).
+    Timestamp,
+}
+
+/// A typed SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Decimal.
+    Dec(Decimal),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Date.
+    Date(Date),
+    /// Timestamp.
+    Ts(DateTime),
+}
+
+impl SqlValue {
+    /// The lexical form used by the XML row view.
+    pub fn lexical(&self) -> String {
+        match self {
+            SqlValue::Null => String::new(),
+            SqlValue::Int(i) => i.to_string(),
+            SqlValue::Dec(d) => d.to_string(),
+            SqlValue::Str(s) => s.clone(),
+            SqlValue::Bool(b) => b.to_string(),
+            SqlValue::Date(d) => d.to_string(),
+            SqlValue::Ts(t) => t.to_string(),
+        }
+    }
+
+    /// Parse a lexical form into a typed value (NULL for empty
+    /// strings on non-varchar columns).
+    pub fn parse(ty: ColumnType, s: &str) -> XdmResult<SqlValue> {
+        if s.is_empty() && ty != ColumnType::Varchar {
+            return Ok(SqlValue::Null);
+        }
+        Ok(match ty {
+            ColumnType::Integer => SqlValue::Int(s.trim().parse().map_err(|_| {
+                XdmError::new(ErrorCode::DSP0003, format!("bad INTEGER literal {s:?}"))
+            })?),
+            ColumnType::Decimal => SqlValue::Dec(Decimal::parse(s)?),
+            ColumnType::Varchar => SqlValue::Str(s.to_string()),
+            ColumnType::Boolean => match s.trim() {
+                "true" | "1" => SqlValue::Bool(true),
+                "false" | "0" => SqlValue::Bool(false),
+                _ => {
+                    return Err(XdmError::new(
+                        ErrorCode::DSP0003,
+                        format!("bad BOOLEAN literal {s:?}"),
+                    ))
+                }
+            },
+            ColumnType::Date => SqlValue::Date(Date::parse(s)?),
+            ColumnType::Timestamp => SqlValue::Ts(DateTime::parse(s)?),
+        })
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Str(s) => write!(f, "'{s}'"),
+            other => write!(f, "{}", other.lexical()),
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Data type.
+    pub ty: ColumnType,
+    /// NOT NULL when false.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A NOT NULL column.
+    pub fn required(name: &str, ty: ColumnType) -> Column {
+        Column { name: name.to_string(), ty, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: ColumnType) -> Column {
+        Column { name: name.to_string(), ty, nullable: true }
+    }
+}
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `ref_columns` of `ref_table`.
+#[derive(Debug, Clone)]
+pub struct ForeignKey {
+    /// Constraint name (drives navigation-function naming).
+    pub name: String,
+    /// Referencing columns in this table.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced (key) columns.
+    pub ref_columns: Vec<String>,
+}
+
+/// A table schema.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in order.
+    pub columns: Vec<Column>,
+    /// Primary-key column names.
+    pub primary_key: Vec<String>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Index of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// A row: values in schema column order.
+pub type Row = Vec<SqlValue>;
+
+/// An equality condition: conjunction of `col = value` (this is all
+/// the decomposer ever generates — PK identification plus OCC
+/// "sameness" predicates).
+pub type Condition = Vec<(String, SqlValue)>;
+
+/// One buffered write operation of a transaction.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// INSERT INTO table VALUES (row).
+    Insert {
+        /// Target table.
+        table: String,
+        /// The new row in column order.
+        row: Row,
+    },
+    /// UPDATE table SET set WHERE cond; must affect exactly
+    /// `expect_rows` rows or the transaction aborts (the OCC check).
+    Update {
+        /// Target table.
+        table: String,
+        /// SET assignments.
+        set: Condition,
+        /// WHERE conjunction.
+        cond: Condition,
+        /// Expected match count (1 for keyed updates).
+        expect_rows: usize,
+    },
+    /// DELETE FROM table WHERE cond.
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE conjunction.
+        cond: Condition,
+        /// Expected match count.
+        expect_rows: usize,
+    },
+}
+
+impl WriteOp {
+    fn table(&self) -> &str {
+        match self {
+            WriteOp::Insert { table, .. }
+            | WriteOp::Update { table, .. }
+            | WriteOp::Delete { table, .. } => table,
+        }
+    }
+
+    /// Render as a SQL-ish string (diagnostics, EXPERIMENTS.md).
+    pub fn to_sql(&self) -> String {
+        let render_cond = |cond: &Condition| {
+            cond.iter()
+                .map(|(c, v)| format!("{c} = {v}"))
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        };
+        match self {
+            WriteOp::Insert { table, row } => format!(
+                "INSERT INTO {table} VALUES ({})",
+                row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            WriteOp::Update { table, set, cond, .. } => format!(
+                "UPDATE {table} SET {} WHERE {}",
+                set.iter()
+                    .map(|(c, v)| format!("{c} = {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                render_cond(cond)
+            ),
+            WriteOp::Delete { table, cond, .. } => {
+                format!("DELETE FROM {table} WHERE {}", render_cond(cond))
+            }
+        }
+    }
+}
+
+/// Transaction id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(pub u64);
+
+static NEXT_TX: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh transaction id.
+pub fn fresh_tx() -> TxId {
+    TxId(NEXT_TX.fetch_add(1, Ordering::Relaxed))
+}
+
+#[derive(Debug)]
+struct TableData {
+    schema: TableSchema,
+    rows: Vec<(u64, Row)>, // (row id, values)
+    next_row_id: u64,
+}
+
+#[derive(Debug)]
+struct Prepared {
+    ops: Vec<WriteOp>,
+    locked: HashSet<(String, u64)>,
+    inserted_keys: Vec<(String, Vec<SqlValue>)>,
+}
+
+#[derive(Debug, Default)]
+struct DbInner {
+    tables: HashMap<String, TableData>,
+    table_order: Vec<String>,
+    prepared: HashMap<TxId, Prepared>,
+    commits: u64,
+    aborts: u64,
+}
+
+/// An in-memory relational database (one "source" in ALDSP terms).
+///
+/// Cloning shares the same underlying store (`Arc`).
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The source name (e.g. `db1`).
+    pub name: String,
+    inner: Arc<Mutex<DbInner>>,
+}
+
+fn cerr(msg: impl Into<String>) -> XdmError {
+    XdmError::new(ErrorCode::DSP0003, msg)
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: &str) -> Database {
+        Database { name: name.to_string(), inner: Arc::new(Mutex::new(DbInner::default())) }
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, schema: TableSchema) -> XdmResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.tables.contains_key(&schema.name) {
+            return Err(cerr(format!("table {} already exists", schema.name)));
+        }
+        for pk in &schema.primary_key {
+            if schema.col_index(pk).is_none() {
+                return Err(cerr(format!("PK column {pk} not in table {}", schema.name)));
+            }
+        }
+        inner.table_order.push(schema.name.clone());
+        inner.tables.insert(
+            schema.name.clone(),
+            TableData { schema, rows: Vec::new(), next_row_id: 1 },
+        );
+        Ok(())
+    }
+
+    /// Table names in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.lock().table_order.clone()
+    }
+
+    /// A table's schema.
+    pub fn schema(&self, table: &str) -> XdmResult<TableSchema> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))
+    }
+
+    /// All rows of a table (committed state).
+    pub fn scan(&self, table: &str) -> XdmResult<Vec<Row>> {
+        let inner = self.inner.lock();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
+        Ok(t.rows.iter().map(|(_, r)| r.clone()).collect())
+    }
+
+    /// Rows matching an equality condition.
+    pub fn select(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
+        let inner = self.inner.lock();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
+        let idx = cond_indices(&t.schema, cond)?;
+        Ok(t.rows
+            .iter()
+            .filter(|(_, r)| row_matches(r, &idx))
+            .map(|(_, r)| r.clone())
+            .collect())
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self, table: &str) -> XdmResult<usize> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|t| t.rows.len())
+            .ok_or_else(|| cerr(format!("no table {table}")))
+    }
+
+    /// Auto-commit convenience: run a batch of ops as a local
+    /// transaction (prepare + commit immediately).
+    pub fn execute(&self, ops: Vec<WriteOp>) -> XdmResult<()> {
+        let tx = fresh_tx();
+        self.prepare(tx, ops)?;
+        self.commit(tx);
+        Ok(())
+    }
+
+    /// Insert a single row, auto-commit.
+    pub fn insert(&self, table: &str, row: Row) -> XdmResult<()> {
+        self.execute(vec![WriteOp::Insert { table: table.to_string(), row }])
+    }
+
+    /// Phase one of 2PC: validate every op (constraints, expected row
+    /// counts, no conflict with other prepared transactions) and pin
+    /// the touched rows. On success the transaction is durable-ready;
+    /// on failure nothing is changed.
+    pub fn prepare(&self, tx: TxId, ops: Vec<WriteOp>) -> XdmResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.prepared.contains_key(&tx) {
+            return Err(cerr(format!("transaction {tx:?} already prepared")));
+        }
+        // Collect locks already held by other prepared transactions.
+        let held: HashSet<(String, u64)> = inner
+            .prepared
+            .values()
+            .flat_map(|p| p.locked.iter().cloned())
+            .collect();
+        let mut locked = HashSet::new();
+        let mut inserted_keys: Vec<(String, Vec<SqlValue>)> = Vec::new();
+        // Pending inserts of other prepared txs also reserve PKs.
+        let reserved_keys: HashSet<(String, String)> = inner
+            .prepared
+            .values()
+            .flat_map(|p| p.inserted_keys.iter())
+            .map(|(t, k)| (t.clone(), key_fingerprint(k)))
+            .collect();
+        for op in &ops {
+            let t = inner
+                .tables
+                .get(op.table())
+                .ok_or_else(|| cerr(format!("no table {}", op.table())))?;
+            match op {
+                WriteOp::Insert { table, row } => {
+                    validate_insert_shape(&t.schema, row)?;
+                    let key = pk_values(&t.schema, row);
+                    if !key.is_empty() {
+                        let fp = key_fingerprint(&key);
+                        let dup_existing = t.rows.iter().any(|(_, r)| {
+                            pk_values(&t.schema, r) == key
+                        });
+                        if dup_existing || reserved_keys.contains(&(table.clone(), fp)) {
+                            return Err(XdmError::new(
+                                ErrorCode::DSP0003,
+                                format!(
+                                    "primary key violation on {table}: ({})",
+                                    key.iter()
+                                        .map(|v| v.to_string())
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                ),
+                            ));
+                        }
+                        inserted_keys.push((table.clone(), key));
+                    }
+                }
+                WriteOp::Update { table, set, cond, expect_rows } => {
+                    let idx = cond_indices(&t.schema, cond)?;
+                    // Validate SET column types/nullability.
+                    for (c, v) in set {
+                        let col = t
+                            .schema
+                            .column(c)
+                            .ok_or_else(|| cerr(format!("no column {c} in {table}")))?;
+                        if v.is_null() && !col.nullable {
+                            return Err(cerr(format!("{table}.{c} is NOT NULL")));
+                        }
+                    }
+                    let hits: Vec<u64> = t
+                        .rows
+                        .iter()
+                        .filter(|(_, r)| row_matches(r, &idx))
+                        .map(|(id, _)| *id)
+                        .collect();
+                    if hits.len() != *expect_rows {
+                        return Err(XdmError::new(
+                            ErrorCode::DSP0001,
+                            format!(
+                                "optimistic concurrency conflict: {} matched {} row(s), \
+                                 expected {expect_rows}",
+                                op.to_sql(),
+                                hits.len()
+                            ),
+                        ));
+                    }
+                    for id in hits {
+                        let key = (table.clone(), id);
+                        if held.contains(&key) {
+                            return Err(XdmError::new(
+                                ErrorCode::DSP0004,
+                                format!("row {id} of {table} locked by another transaction"),
+                            ));
+                        }
+                        locked.insert(key);
+                    }
+                }
+                WriteOp::Delete { table, cond, expect_rows } => {
+                    let idx = cond_indices(&t.schema, cond)?;
+                    let hits: Vec<u64> = t
+                        .rows
+                        .iter()
+                        .filter(|(_, r)| row_matches(r, &idx))
+                        .map(|(id, _)| *id)
+                        .collect();
+                    if hits.len() != *expect_rows {
+                        return Err(XdmError::new(
+                            ErrorCode::DSP0001,
+                            format!(
+                                "optimistic concurrency conflict: {} matched {} row(s), \
+                                 expected {expect_rows}",
+                                op.to_sql(),
+                                hits.len()
+                            ),
+                        ));
+                    }
+                    for id in hits {
+                        let key = (table.clone(), id);
+                        if held.contains(&key) {
+                            return Err(XdmError::new(
+                                ErrorCode::DSP0004,
+                                format!("row {id} of {table} locked by another transaction"),
+                            ));
+                        }
+                        locked.insert(key);
+                    }
+                }
+            }
+        }
+        inner.prepared.insert(tx, Prepared { ops, locked, inserted_keys });
+        Ok(())
+    }
+
+    /// Phase two: apply a prepared transaction. Panics are impossible
+    /// by construction (everything validated at prepare), so commit
+    /// cannot fail — the XA contract.
+    pub fn commit(&self, tx: TxId) {
+        let mut inner = self.inner.lock();
+        let Some(p) = inner.prepared.remove(&tx) else { return };
+        for op in p.ops {
+            match op {
+                WriteOp::Insert { table, row } => {
+                    let t = inner.tables.get_mut(&table).expect("validated");
+                    let id = t.next_row_id;
+                    t.next_row_id += 1;
+                    t.rows.push((id, row));
+                }
+                WriteOp::Update { table, set, cond, .. } => {
+                    let t = inner.tables.get_mut(&table).expect("validated");
+                    let idx = cond_indices(&t.schema, &cond).expect("validated");
+                    let sets: Vec<(usize, SqlValue)> = set
+                        .iter()
+                        .map(|(c, v)| (t.schema.col_index(c).expect("validated"), v.clone()))
+                        .collect();
+                    for (_, r) in t.rows.iter_mut() {
+                        if row_matches(r, &idx) {
+                            for (i, v) in &sets {
+                                r[*i] = v.clone();
+                            }
+                        }
+                    }
+                }
+                WriteOp::Delete { table, cond, .. } => {
+                    let t = inner.tables.get_mut(&table).expect("validated");
+                    let idx = cond_indices(&t.schema, &cond).expect("validated");
+                    t.rows.retain(|(_, r)| !row_matches(r, &idx));
+                }
+            }
+        }
+        inner.commits += 1;
+    }
+
+    /// Abort a prepared (or never-prepared) transaction; releases
+    /// locks, changes nothing.
+    pub fn rollback(&self, tx: TxId) {
+        let mut inner = self.inner.lock();
+        if inner.prepared.remove(&tx).is_some() {
+            inner.aborts += 1;
+        }
+    }
+
+    /// Is the transaction currently in prepared state?
+    pub fn is_prepared(&self, tx: TxId) -> bool {
+        self.inner.lock().prepared.contains_key(&tx)
+    }
+
+    /// (commits, aborts) counters — used by the XA experiments.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.commits, inner.aborts)
+    }
+}
+
+fn validate_insert_shape(schema: &TableSchema, row: &Row) -> XdmResult<()> {
+    if row.len() != schema.columns.len() {
+        return Err(cerr(format!(
+            "row arity {} does not match table {} ({} columns)",
+            row.len(),
+            schema.name,
+            schema.columns.len()
+        )));
+    }
+    for (col, val) in schema.columns.iter().zip(row) {
+        if val.is_null() {
+            if !col.nullable {
+                return Err(cerr(format!("{}.{} is NOT NULL", schema.name, col.name)));
+            }
+            continue;
+        }
+        let ok = matches!(
+            (col.ty, val),
+            (ColumnType::Integer, SqlValue::Int(_))
+                | (ColumnType::Decimal, SqlValue::Dec(_))
+                | (ColumnType::Decimal, SqlValue::Int(_))
+                | (ColumnType::Varchar, SqlValue::Str(_))
+                | (ColumnType::Boolean, SqlValue::Bool(_))
+                | (ColumnType::Date, SqlValue::Date(_))
+                | (ColumnType::Timestamp, SqlValue::Ts(_))
+        );
+        if !ok {
+            return Err(cerr(format!(
+                "type mismatch for {}.{}: {:?}",
+                schema.name, col.name, val
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn pk_values(schema: &TableSchema, row: &Row) -> Vec<SqlValue> {
+    schema
+        .primary_key
+        .iter()
+        .filter_map(|c| schema.col_index(c).map(|i| row[i].clone()))
+        .collect()
+}
+
+fn key_fingerprint(key: &[SqlValue]) -> String {
+    key.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+}
+
+fn cond_indices(
+    schema: &TableSchema,
+    cond: &Condition,
+) -> XdmResult<Vec<(usize, SqlValue)>> {
+    cond.iter()
+        .map(|(c, v)| {
+            schema
+                .col_index(c)
+                .map(|i| (i, v.clone()))
+                .ok_or_else(|| cerr(format!("no column {c} in {}", schema.name)))
+        })
+        .collect()
+}
+
+fn row_matches(row: &Row, idx: &[(usize, SqlValue)]) -> bool {
+    idx.iter().all(|(i, v)| &row[*i] == v)
+}
+
+// ---------------------------------------------------------------- 2PC
+
+/// Where to inject a coordinator crash in the XA experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after preparing the first participant only.
+    AfterFirstPrepare,
+    /// Crash after all prepares, before any commit (decision not yet
+    /// logged → presumed abort).
+    AfterAllPrepares,
+    /// Crash after the decision is logged and the first commit is
+    /// delivered (recovery must push the rest).
+    AfterFirstCommit,
+}
+
+/// Outcome of a coordinated transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// All participants committed.
+    Committed,
+    /// All participants rolled back.
+    Aborted(String),
+}
+
+/// A two-phase-commit coordinator over multiple [`Database`]
+/// participants (§II.C: XA across the affected sources).
+pub struct TwoPhaseCoordinator {
+    participants: Vec<(Database, Vec<WriteOp>)>,
+}
+
+impl TwoPhaseCoordinator {
+    /// Build a coordinator over per-source op batches.
+    pub fn new(participants: Vec<(Database, Vec<WriteOp>)>) -> TwoPhaseCoordinator {
+        TwoPhaseCoordinator { participants }
+    }
+
+    /// Run the protocol to completion.
+    pub fn run(self) -> TxOutcome {
+        self.run_with_crash(None).0
+    }
+
+    /// Run with an optional injected coordinator crash; returns the
+    /// outcome *after recovery* plus whether a crash was simulated.
+    /// Recovery semantics: no decision logged → presumed abort; commit
+    /// decision logged → commit is pushed to every participant.
+    pub fn run_with_crash(self, crash: Option<CrashPoint>) -> (TxOutcome, bool) {
+        let tx = fresh_tx();
+        let mut prepared: Vec<&Database> = Vec::new();
+        let mut crashed = false;
+        // Phase 1.
+        for (i, (db, ops)) in self.participants.iter().enumerate() {
+            match db.prepare(tx, ops.clone()) {
+                Ok(()) => prepared.push(db),
+                Err(e) => {
+                    for p in &prepared {
+                        p.rollback(tx);
+                    }
+                    return (TxOutcome::Aborted(e.message), crashed);
+                }
+            }
+            if crash == Some(CrashPoint::AfterFirstPrepare) && i == 0 {
+                crashed = true;
+                // Recovery: no commit decision was logged → abort all
+                // prepared branches (presumed abort).
+                for p in &prepared {
+                    p.rollback(tx);
+                }
+                // The remaining participants never prepared; nothing
+                // to do for them.
+                return (
+                    TxOutcome::Aborted("coordinator crash before decision".into()),
+                    crashed,
+                );
+            }
+        }
+        if crash == Some(CrashPoint::AfterAllPrepares) {
+            crashed = true;
+            // Still no decision logged → presumed abort on recovery.
+            for p in &prepared {
+                p.rollback(tx);
+            }
+            return (
+                TxOutcome::Aborted("coordinator crash before decision".into()),
+                crashed,
+            );
+        }
+        // Decision: COMMIT (logged here — conceptually the force-write
+        // of the commit record).
+        for (i, (db, _)) in self.participants.iter().enumerate() {
+            db.commit(tx);
+            if crash == Some(CrashPoint::AfterFirstCommit) && i == 0 {
+                crashed = true;
+                // Recovery replays the logged COMMIT decision to the
+                // remaining participants.
+                for (db2, _) in self.participants.iter().skip(1) {
+                    db2.commit(tx);
+                }
+                return (TxOutcome::Committed, crashed);
+            }
+        }
+        (TxOutcome::Committed, crashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people_schema() -> TableSchema {
+        TableSchema {
+            name: "PEOPLE".into(),
+            columns: vec![
+                Column::required("ID", ColumnType::Integer),
+                Column::required("NAME", ColumnType::Varchar),
+                Column::nullable("AGE", ColumnType::Integer),
+            ],
+            primary_key: vec!["ID".into()],
+            foreign_keys: vec![],
+        }
+    }
+
+    fn db_with_people() -> Database {
+        let db = Database::new("db1");
+        db.create_table(people_schema()).unwrap();
+        db.insert(
+            "PEOPLE",
+            vec![SqlValue::Int(1), SqlValue::Str("ann".into()), SqlValue::Int(30)],
+        )
+        .unwrap();
+        db.insert(
+            "PEOPLE",
+            vec![SqlValue::Int(2), SqlValue::Str("bob".into()), SqlValue::Null],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_scan_select() {
+        let db = db_with_people();
+        assert_eq!(db.row_count("PEOPLE").unwrap(), 2);
+        let rows = db
+            .select("PEOPLE", &vec![("NAME".into(), SqlValue::Str("ann".into()))])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], SqlValue::Int(1));
+    }
+
+    #[test]
+    fn pk_violation_rejected() {
+        let db = db_with_people();
+        let err = db
+            .insert(
+                "PEOPLE",
+                vec![SqlValue::Int(1), SqlValue::Str("dup".into()), SqlValue::Null],
+            )
+            .unwrap_err();
+        assert!(err.is(ErrorCode::DSP0003));
+        assert_eq!(db.row_count("PEOPLE").unwrap(), 2);
+    }
+
+    #[test]
+    fn not_null_and_type_checks() {
+        let db = db_with_people();
+        assert!(db
+            .insert("PEOPLE", vec![SqlValue::Int(3), SqlValue::Null, SqlValue::Null])
+            .is_err());
+        assert!(db
+            .insert(
+                "PEOPLE",
+                vec![SqlValue::Str("x".into()), SqlValue::Str("n".into()), SqlValue::Null]
+            )
+            .is_err());
+        assert!(db
+            .insert("PEOPLE", vec![SqlValue::Int(3), SqlValue::Str("n".into())])
+            .is_err()); // arity
+    }
+
+    #[test]
+    fn conditioned_update_and_expected_rows() {
+        let db = db_with_people();
+        // The OCC-style conditioned update: matches → applies.
+        db.execute(vec![WriteOp::Update {
+            table: "PEOPLE".into(),
+            set: vec![("NAME".into(), SqlValue::Str("ANN".into()))],
+            cond: vec![
+                ("ID".into(), SqlValue::Int(1)),
+                ("NAME".into(), SqlValue::Str("ann".into())),
+            ],
+            expect_rows: 1,
+        }])
+        .unwrap();
+        let rows = db
+            .select("PEOPLE", &vec![("ID".into(), SqlValue::Int(1))])
+            .unwrap();
+        assert_eq!(rows[0][1], SqlValue::Str("ANN".into()));
+        // Stale condition → DSP0001 conflict, nothing applied.
+        let err = db
+            .execute(vec![WriteOp::Update {
+                table: "PEOPLE".into(),
+                set: vec![("NAME".into(), SqlValue::Str("X".into()))],
+                cond: vec![
+                    ("ID".into(), SqlValue::Int(1)),
+                    ("NAME".into(), SqlValue::Str("ann".into())), // stale
+                ],
+                expect_rows: 1,
+            }])
+            .unwrap_err();
+        assert!(err.is(ErrorCode::DSP0001));
+    }
+
+    #[test]
+    fn delete_with_condition() {
+        let db = db_with_people();
+        db.execute(vec![WriteOp::Delete {
+            table: "PEOPLE".into(),
+            cond: vec![("ID".into(), SqlValue::Int(2))],
+            expect_rows: 1,
+        }])
+        .unwrap();
+        assert_eq!(db.row_count("PEOPLE").unwrap(), 1);
+    }
+
+    #[test]
+    fn transaction_atomicity_on_failure() {
+        let db = db_with_people();
+        // Second op fails at prepare → first op must not apply.
+        let err = db
+            .execute(vec![
+                WriteOp::Insert {
+                    table: "PEOPLE".into(),
+                    row: vec![SqlValue::Int(9), SqlValue::Str("new".into()), SqlValue::Null],
+                },
+                WriteOp::Update {
+                    table: "PEOPLE".into(),
+                    set: vec![("NAME".into(), SqlValue::Str("X".into()))],
+                    cond: vec![("ID".into(), SqlValue::Int(404))],
+                    expect_rows: 1,
+                },
+            ])
+            .unwrap_err();
+        assert!(err.is(ErrorCode::DSP0001));
+        assert_eq!(db.row_count("PEOPLE").unwrap(), 2);
+    }
+
+    #[test]
+    fn prepared_rows_are_locked() {
+        let db = db_with_people();
+        let t1 = fresh_tx();
+        db.prepare(
+            t1,
+            vec![WriteOp::Update {
+                table: "PEOPLE".into(),
+                set: vec![("AGE".into(), SqlValue::Int(31))],
+                cond: vec![("ID".into(), SqlValue::Int(1))],
+                expect_rows: 1,
+            }],
+        )
+        .unwrap();
+        // A second transaction touching the same row is refused.
+        let t2 = fresh_tx();
+        let err = db
+            .prepare(
+                t2,
+                vec![WriteOp::Update {
+                    table: "PEOPLE".into(),
+                    set: vec![("AGE".into(), SqlValue::Int(99))],
+                    cond: vec![("ID".into(), SqlValue::Int(1))],
+                    expect_rows: 1,
+                }],
+            )
+            .unwrap_err();
+        assert!(err.is(ErrorCode::DSP0004));
+        // After commit, t2 can retry (but the OCC cond may now differ).
+        db.commit(t1);
+        assert!(!db.is_prepared(t1));
+        db.prepare(
+            t2,
+            vec![WriteOp::Update {
+                table: "PEOPLE".into(),
+                set: vec![("AGE".into(), SqlValue::Int(99))],
+                cond: vec![("ID".into(), SqlValue::Int(1))],
+                expect_rows: 1,
+            }],
+        )
+        .unwrap();
+        db.rollback(t2);
+        let rows = db.select("PEOPLE", &vec![("ID".into(), SqlValue::Int(1))]).unwrap();
+        assert_eq!(rows[0][2], SqlValue::Int(31));
+    }
+
+    #[test]
+    fn concurrent_inserts_same_pk_conflict_at_prepare() {
+        let db = db_with_people();
+        let t1 = fresh_tx();
+        let t2 = fresh_tx();
+        let row = |n: &str| {
+            vec![SqlValue::Int(7), SqlValue::Str(n.into()), SqlValue::Null]
+        };
+        db.prepare(t1, vec![WriteOp::Insert { table: "PEOPLE".into(), row: row("a") }])
+            .unwrap();
+        let err = db
+            .prepare(t2, vec![WriteOp::Insert { table: "PEOPLE".into(), row: row("b") }])
+            .unwrap_err();
+        assert!(err.is(ErrorCode::DSP0003));
+        db.rollback(t1);
+    }
+
+    fn two_dbs() -> (Database, Database) {
+        let db1 = db_with_people();
+        let db2 = Database::new("db2");
+        db2.create_table(TableSchema {
+            name: "AUDIT".into(),
+            columns: vec![
+                Column::required("ID", ColumnType::Integer),
+                Column::required("WHAT", ColumnType::Varchar),
+            ],
+            primary_key: vec!["ID".into()],
+            foreign_keys: vec![],
+        })
+        .unwrap();
+        (db1, db2)
+    }
+
+    fn audit_insert(id: i64) -> WriteOp {
+        WriteOp::Insert {
+            table: "AUDIT".into(),
+            row: vec![SqlValue::Int(id), SqlValue::Str("update".into())],
+        }
+    }
+
+    fn people_update() -> WriteOp {
+        WriteOp::Update {
+            table: "PEOPLE".into(),
+            set: vec![("AGE".into(), SqlValue::Int(31))],
+            cond: vec![("ID".into(), SqlValue::Int(1))],
+            expect_rows: 1,
+        }
+    }
+
+    #[test]
+    fn two_phase_commit_happy_path() {
+        let (db1, db2) = two_dbs();
+        let outcome = TwoPhaseCoordinator::new(vec![
+            (db1.clone(), vec![people_update()]),
+            (db2.clone(), vec![audit_insert(1)]),
+        ])
+        .run();
+        assert_eq!(outcome, TxOutcome::Committed);
+        assert_eq!(db2.row_count("AUDIT").unwrap(), 1);
+        let rows = db1.select("PEOPLE", &vec![("ID".into(), SqlValue::Int(1))]).unwrap();
+        assert_eq!(rows[0][2], SqlValue::Int(31));
+    }
+
+    #[test]
+    fn two_phase_commit_aborts_all_on_one_failure() {
+        let (db1, db2) = two_dbs();
+        // db2 op fails (duplicate PK after a first insert).
+        db2.insert("AUDIT", vec![SqlValue::Int(1), SqlValue::Str("x".into())]).unwrap();
+        let outcome = TwoPhaseCoordinator::new(vec![
+            (db1.clone(), vec![people_update()]),
+            (db2.clone(), vec![audit_insert(1)]),
+        ])
+        .run();
+        assert!(matches!(outcome, TxOutcome::Aborted(_)));
+        // db1's branch rolled back: age unchanged.
+        let rows = db1.select("PEOPLE", &vec![("ID".into(), SqlValue::Int(1))]).unwrap();
+        assert_eq!(rows[0][2], SqlValue::Int(30));
+        // And no lingering prepared state.
+        let t = fresh_tx();
+        db1.prepare(t, vec![people_update()]).unwrap();
+        db1.rollback(t);
+    }
+
+    #[test]
+    fn crash_injection_preserves_atomicity() {
+        for crash in [
+            CrashPoint::AfterFirstPrepare,
+            CrashPoint::AfterAllPrepares,
+            CrashPoint::AfterFirstCommit,
+        ] {
+            let (db1, db2) = two_dbs();
+            let (outcome, crashed) = TwoPhaseCoordinator::new(vec![
+                (db1.clone(), vec![people_update()]),
+                (db2.clone(), vec![audit_insert(1)]),
+            ])
+            .run_with_crash(Some(crash));
+            assert!(crashed);
+            // Atomicity: both applied or neither.
+            let age = db1
+                .select("PEOPLE", &vec![("ID".into(), SqlValue::Int(1))])
+                .unwrap()[0][2]
+                .clone();
+            let audits = db2.row_count("AUDIT").unwrap();
+            match outcome {
+                TxOutcome::Committed => {
+                    assert_eq!(age, SqlValue::Int(31), "{crash:?}");
+                    assert_eq!(audits, 1, "{crash:?}");
+                }
+                TxOutcome::Aborted(_) => {
+                    assert_eq!(age, SqlValue::Int(30), "{crash:?}");
+                    assert_eq!(audits, 0, "{crash:?}");
+                }
+            }
+            // No prepared garbage survives recovery.
+            assert!(!db1.is_prepared(TxId(0)));
+        }
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let op = WriteOp::Update {
+            table: "CUSTOMER".into(),
+            set: vec![("LAST_NAME".into(), SqlValue::Str("Carey".into()))],
+            cond: vec![
+                ("CID".into(), SqlValue::Int(7)),
+                ("LAST_NAME".into(), SqlValue::Str("Carrey".into())),
+            ],
+            expect_rows: 1,
+        };
+        assert_eq!(
+            op.to_sql(),
+            "UPDATE CUSTOMER SET LAST_NAME = 'Carey' \
+             WHERE CID = 7 AND LAST_NAME = 'Carrey'"
+        );
+    }
+
+    #[test]
+    fn sql_value_parse_round_trip() {
+        let v = SqlValue::parse(ColumnType::Integer, "42").unwrap();
+        assert_eq!(v, SqlValue::Int(42));
+        let v = SqlValue::parse(ColumnType::Date, "2007-12-07").unwrap();
+        assert_eq!(v.lexical(), "2007-12-07");
+        let v = SqlValue::parse(ColumnType::Integer, "").unwrap();
+        assert!(v.is_null());
+        assert!(SqlValue::parse(ColumnType::Integer, "abc").is_err());
+        let v = SqlValue::parse(ColumnType::Boolean, "true").unwrap();
+        assert_eq!(v, SqlValue::Bool(true));
+    }
+
+    #[test]
+    fn concurrent_prepare_from_threads() {
+        use std::thread;
+        let db = db_with_people();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let db = db.clone();
+            handles.push(thread::spawn(move || {
+                db.execute(vec![WriteOp::Insert {
+                    table: "PEOPLE".into(),
+                    row: vec![
+                        SqlValue::Int(100 + i),
+                        SqlValue::Str(format!("t{i}")),
+                        SqlValue::Null,
+                    ],
+                }])
+            }));
+        }
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(db.row_count("PEOPLE").unwrap(), 10);
+    }
+}

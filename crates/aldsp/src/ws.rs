@@ -1,0 +1,217 @@
+//! The web-service source simulator.
+//!
+//! ALDSP introspects a WSDL and produces a library data service with
+//! one method per operation (§II.A). Here a [`WebService`] carries
+//! WSDL-like operation metadata (name, input/output element names) and
+//! an in-process implementation closure — enough to exercise the same
+//! introspection → library-data-service → XQuery-call path as the
+//! paper's document-style credit-rating service.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xdm::error::{ErrorCode, XdmError, XdmResult};
+use xdm::node::NodeHandle;
+use xdm::qname::QName;
+use xdm::sequence::{Item, Sequence};
+
+/// An operation implementation: request sequence in, response
+/// sequence out.
+pub type WsHandler = Rc<dyn Fn(&Sequence) -> XdmResult<Sequence>>;
+
+/// WSDL-like metadata plus implementation for one operation.
+#[derive(Clone)]
+pub struct WsOperation {
+    /// Operation name (becomes the library-function name).
+    pub name: String,
+    /// Input element local name (from the "WSDL types").
+    pub input_element: String,
+    /// Output element local name.
+    pub output_element: String,
+    /// The implementation.
+    pub handler: WsHandler,
+}
+
+/// A web-service source: a named set of operations.
+#[derive(Clone)]
+pub struct WebService {
+    /// Service name (e.g. `CreditRating`).
+    pub name: String,
+    /// The service's namespace (used for request/response elements).
+    pub namespace: String,
+    operations: HashMap<String, WsOperation>,
+    order: Vec<String>,
+}
+
+impl WebService {
+    /// An empty service.
+    pub fn new(name: &str, namespace: &str) -> WebService {
+        WebService {
+            name: name.to_string(),
+            namespace: namespace.to_string(),
+            operations: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Register an operation.
+    pub fn add_operation(
+        &mut self,
+        name: &str,
+        input_element: &str,
+        output_element: &str,
+        handler: WsHandler,
+    ) {
+        self.order.push(name.to_string());
+        self.operations.insert(
+            name.to_string(),
+            WsOperation {
+                name: name.to_string(),
+                input_element: input_element.to_string(),
+                output_element: output_element.to_string(),
+                handler,
+            },
+        );
+    }
+
+    /// Operation names in registration order (the "WSDL port type").
+    pub fn operation_names(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    /// Look up an operation.
+    pub fn operation(&self, name: &str) -> Option<&WsOperation> {
+        self.operations.get(name)
+    }
+
+    /// Invoke an operation.
+    pub fn call(&self, name: &str, request: &Sequence) -> XdmResult<Sequence> {
+        let op = self.operations.get(name).ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::DSP0005,
+                format!("web service {} has no operation {name}", self.name),
+            )
+        })?;
+        (op.handler)(request)
+    }
+
+    /// The paper's credit-rating service (Figures 2/3): takes a
+    /// `getCreditRating` request with `lastName` and `ssn` children and
+    /// returns a `getCreditRatingResponse` with a numeric `value`.
+    /// Deterministic: the rating is a stable hash of the SSN into
+    /// 300–850 (the paper's testbed service is unavailable; this
+    /// preserves the call shape and a realistic output domain).
+    pub fn credit_rating(namespace: &str) -> WebService {
+        let ns = namespace.to_string();
+        let mut svc = WebService::new("CreditRating", namespace);
+        let ns2 = ns.clone();
+        svc.add_operation(
+            "getCreditRating",
+            "getCreditRating",
+            "getCreditRatingResponse",
+            Rc::new(move |request: &Sequence| {
+                let req = request.exactly_one()?;
+                let Item::Node(node) = req else {
+                    return Err(XdmError::new(
+                        ErrorCode::XPTY0004,
+                        "getCreditRating expects an element request",
+                    ));
+                };
+                let child = |local: &str| -> String {
+                    node.children()
+                        .iter()
+                        .find(|c| c.name().map(|q| q.local.clone()).as_deref() == Some(local))
+                        .map(|c| c.string_value())
+                        .unwrap_or_default()
+                };
+                let ssn = child("ssn");
+                let last = child("lastName");
+                let rating = credit_score(&ssn, &last);
+                let resp = NodeHandle::root_element(QName::with_prefix_ns(
+                    "cre2",
+                    ns2.clone(),
+                    "getCreditRatingResponse",
+                ));
+                let v = NodeHandle::new_element(
+                    resp.arena(),
+                    QName::with_prefix_ns("cre2", ns2.clone(), "value"),
+                );
+                v.append_child(&NodeHandle::new_text(resp.arena(), rating.to_string()))?;
+                resp.append_child(&v)?;
+                Ok(Sequence::one(Item::Node(resp)))
+            }),
+        );
+        svc
+    }
+}
+
+/// Deterministic FICO-range score from SSN + last name.
+pub fn credit_score(ssn: &str, last_name: &str) -> u32 {
+    let mut h: u32 = 2166136261;
+    for b in ssn.bytes().chain(last_name.bytes()) {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    300 + (h % 551)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlparse::parse;
+
+    fn request(ssn: &str, last: &str) -> Sequence {
+        let xml = format!(
+            "<getCreditRating xmlns=\"urn:cr\">\
+             <lastName>{last}</lastName><ssn>{ssn}</ssn></getCreditRating>"
+        );
+        let doc = parse(&xml).unwrap();
+        Sequence::one(Item::Node(doc.children()[0].clone()))
+    }
+
+    #[test]
+    fn credit_rating_is_deterministic_and_in_range() {
+        let svc = WebService::credit_rating("urn:cr");
+        let r1 = svc.call("getCreditRating", &request("123-45-6789", "Carey")).unwrap();
+        let r2 = svc.call("getCreditRating", &request("123-45-6789", "Carey")).unwrap();
+        let v1 = r1.items()[0].string_value();
+        assert_eq!(v1, r2.items()[0].string_value());
+        let n: u32 = v1.parse().unwrap();
+        assert!((300..=850).contains(&n), "rating {n} out of FICO range");
+    }
+
+    #[test]
+    fn different_inputs_vary() {
+        let a = credit_score("111-11-1111", "Smith");
+        let b = credit_score("222-22-2222", "Jones");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn response_shape_matches_figure3() {
+        // Figure 3 reads $getCreditRatingResponse/cre2:value.
+        let svc = WebService::credit_rating("urn:cr");
+        let resp = svc.call("getCreditRating", &request("1", "X")).unwrap();
+        let Item::Node(n) = &resp.items()[0] else { panic!() };
+        assert_eq!(n.name().unwrap().local, "getCreditRatingResponse");
+        assert_eq!(n.name().unwrap().ns.as_deref(), Some("urn:cr"));
+        let v = &n.children()[0];
+        assert_eq!(v.name().unwrap().local, "value");
+    }
+
+    #[test]
+    fn unknown_operation_is_dsp0005() {
+        let svc = WebService::credit_rating("urn:cr");
+        let err = svc.call("nosuch", &Sequence::empty()).unwrap_err();
+        assert!(err.is(xdm::error::ErrorCode::DSP0005));
+    }
+
+    #[test]
+    fn operation_metadata_for_introspection() {
+        let svc = WebService::credit_rating("urn:cr");
+        assert_eq!(svc.operation_names(), vec!["getCreditRating"]);
+        let op = svc.operation("getCreditRating").unwrap();
+        assert_eq!(op.input_element, "getCreditRating");
+        assert_eq!(op.output_element, "getCreditRatingResponse");
+    }
+}

@@ -1,0 +1,76 @@
+//! E5: update decomposition — change summary + lineage → conditioned
+//! SQL plan, by scenario shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aldsp::decompose::{decompose_update, OccPolicy};
+use xqse_bench::demo;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_decompose");
+    // One top-level field.
+    let d = demo::build(200, 2, 1).expect("demo");
+    let lineage = d.space.lineage("CustomerProfile").expect("lineage");
+    let graph = d.space.get("CustomerProfile", "getProfile", vec![]).expect("get");
+    graph.set_value(0, &["LAST_NAME"], "X").expect("set");
+    g.bench_function("one_field", |b| {
+        b.iter(|| {
+            black_box(
+                decompose_update(&lineage, &graph, &OccPolicy::UpdatedValues)
+                    .expect("plan")
+                    .statement_count(),
+            )
+        })
+    });
+    // Cross-source change set.
+    let graph2 = d.space.get("CustomerProfile", "getProfile", vec![]).expect("get");
+    graph2.set_value(0, &["LAST_NAME"], "X").expect("set");
+    graph2
+        .set_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"], "Y")
+        .expect("set");
+    graph2.set_value(0, &["Orders", "ORDER", "STATUS"], "Z").expect("set");
+    g.bench_function("three_rows_two_sources", |b| {
+        b.iter(|| {
+            black_box(
+                decompose_update(&lineage, &graph2, &OccPolicy::UpdatedValues)
+                    .expect("plan")
+                    .statement_count(),
+            )
+        })
+    });
+    // Many instances changed (bulk).
+    let graph3 = d.space.get("CustomerProfile", "getProfile", vec![]).expect("get");
+    for i in 0..50 {
+        graph3.set_value(i, &["LAST_NAME"], "Bulk").expect("set");
+    }
+    g.bench_function("fifty_instances", |b| {
+        b.iter(|| {
+            black_box(
+                decompose_update(&lineage, &graph3, &OccPolicy::UpdatedValues)
+                    .expect("plan")
+                    .statement_count(),
+            )
+        })
+    });
+    // Policy width comparison on the same change.
+    for (name, policy) in [
+        ("policy_updated_values", OccPolicy::UpdatedValues),
+        ("policy_read_values", OccPolicy::ReadValues),
+        ("policy_chosen_subset", OccPolicy::ChosenSubset(vec!["FIRST_NAME".into()])),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    decompose_update(&lineage, &graph, &policy)
+                        .expect("plan")
+                        .statement_count(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

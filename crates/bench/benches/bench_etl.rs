@@ -1,0 +1,24 @@
+//! E3: use case 3 (ETL lite) — XQSE iterate + per-row create vs the
+//! native ("Java override") baseline, by row count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xqse_bench::{etl_run_native, etl_run_xqse, etl_space};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_etl");
+    g.sample_size(10);
+    for rows in [10i64, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("xqse_iterate", rows), &rows, |b, &n| {
+            b.iter_with_setup(|| etl_space(n), |f| black_box(etl_run_xqse(&f)))
+        });
+        g.bench_with_input(BenchmarkId::new("native_baseline", rows), &rows, |b, &n| {
+            b.iter_with_setup(|| etl_space(n), |f| black_box(etl_run_native(&f)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E1: Figure-3 `getProfile()` integration read — latency vs customer
+//! count (2 relational sources + 1 web service, nested joins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xqse_bench::demo;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_getprofile");
+    g.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        let d = demo::build(n, 3, 2).expect("demo");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let graph = d
+                    .space
+                    .get("CustomerProfile", "getProfile", vec![])
+                    .expect("get");
+                black_box(graph.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2: use case 2 (management chain) — XQSE while-loop vs recursive
+//! XQuery vs native Rust, by chain depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xqse_bench::{mgmt_chain_native, mgmt_chain_recursive, mgmt_chain_xqse, mgmt_space};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_mgmtchain");
+    for depth in [4usize, 16, 64] {
+        let space = mgmt_space(depth);
+        let db = space.database("hr").expect("db");
+        g.bench_with_input(BenchmarkId::new("xqse_while", depth), &depth, |b, _| {
+            b.iter(|| black_box(mgmt_chain_xqse(&space)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("recursive_xquery", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(mgmt_chain_recursive(&space))),
+        );
+        g.bench_with_input(BenchmarkId::new("native_rust", depth), &depth, |b, _| {
+            b.iter(|| black_box(mgmt_chain_native(&db)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

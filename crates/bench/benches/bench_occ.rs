@@ -1,0 +1,43 @@
+//! E6: optimistic-concurrency policies — end-to-end submit cost per
+//! policy (WHERE width translates into condition-evaluation work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aldsp::decompose::OccPolicy;
+use xqse_bench::demo;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_occ");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("read_values", OccPolicy::ReadValues),
+        ("updated_values", OccPolicy::UpdatedValues),
+        ("chosen_subset", OccPolicy::ChosenSubset(vec!["FIRST_NAME".into()])),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_with_setup(
+                || {
+                    let d = demo::build(100, 1, 1).expect("demo");
+                    d.space
+                        .set_occ_policy("CustomerProfile", policy.clone())
+                        .expect("policy");
+                    let graph = d
+                        .space
+                        .get("CustomerProfile", "getProfile", vec![])
+                        .expect("get");
+                    graph.set_value(0, &["LAST_NAME"], "X").expect("set");
+                    (d, graph)
+                },
+                |(d, graph)| {
+                    let _: () = d.space.submit(&graph).expect("submit");
+                    black_box(());
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E8: parser throughput over the paper's listings (XQuery + the full
+//! XQSE statement grammar).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use xqse_bench::demo;
+
+const HELLO: &str = "{ return value \"Hello, World\"; }";
+
+const USE_CASE_3: &str = r#"
+declare namespace tns = "ld:Employees";
+declare namespace ens1 = "ld:emp1";
+declare namespace emp2 = "ld:emp2";
+declare namespace empl = "urn:empl";
+declare function tns:transformToEMP2($emp as element(empl:Employee)?)
+  as element(emp2:EMP2)?
+{
+  for $emp1 in $emp return <emp2:EMP2>
+    <EmpId>{fn:data($emp1/EmployeeID)}</EmpId>
+    <FirstName>{fn:tokenize(fn:data($emp1/Name),' ')[1]}</FirstName>
+    <LastName>{fn:tokenize(fn:data($emp1/Name),' ')[2]}</LastName>
+    <MgrName>{fn:data(ens1:getByEmployeeID($emp1/ManagerID)/Name)}</MgrName>
+    <Dept>{fn:data($emp1/DeptNo)}</Dept>
+  </emp2:EMP2>
+};
+declare procedure tns:copyAllToEMP2() as xs:integer
+{
+  declare $backupCnt as xs:integer := 0;
+  declare $emp2 as element(emp2:EMP2)?;
+  iterate $emp1 over ens1:getAll() {
+    set $emp2 := tns:transformToEMP2($emp1);
+    emp2:createEMP2($emp2);
+    set $backupCnt := $backupCnt + 1;
+  }
+  return value ($backupCnt);
+};
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_parser");
+    for (name, src) in [
+        ("hello_world", HELLO.to_string()),
+        ("use_case_3", USE_CASE_3.to_string()),
+        ("figure3_getprofile", demo::GET_PROFILE_SRC.to_string()),
+    ] {
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, s| {
+            b.iter(|| black_box(xqparser::parse_module(s).expect("parse")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4: use case 4 (replicating create) — try/catch handler overhead
+//! and failure-injection cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aldsp::rel::SqlValue;
+use xqse_bench::{employee_batch, replicate_run, replicate_space};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_replicate");
+    g.sample_size(10);
+    let batch = 200i64;
+    g.bench_function(BenchmarkId::new("with_handlers", batch), |b| {
+        b.iter_with_setup(
+            || replicate_space(true),
+            |f| black_box(replicate_run(&f, employee_batch(1, batch))),
+        )
+    });
+    g.bench_function(BenchmarkId::new("no_handlers", batch), |b| {
+        b.iter_with_setup(
+            || replicate_space(false),
+            |f| black_box(replicate_run(&f, employee_batch(1, batch))),
+        )
+    });
+    g.bench_function(BenchmarkId::new("with_midpoint_failure", batch), |b| {
+        b.iter_with_setup(
+            || {
+                let f = replicate_space(true);
+                f.backup
+                    .insert(
+                        "EMPLOYEE",
+                        vec![SqlValue::Int(batch / 2), SqlValue::Str("ghost".into())],
+                    )
+                    .expect("poison");
+                f
+            },
+            |f| black_box(replicate_run(&f, employee_batch(1, batch))),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

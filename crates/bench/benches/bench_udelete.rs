@@ -1,0 +1,75 @@
+//! E10: use case 1 (user-defined delete) — XQSE wrapper (lookup +
+//! default delete) vs direct generated delete, by table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xdm::qname::QName;
+use xdm::sequence::{Item, Sequence};
+use xqse_bench::demo;
+
+const DELETE_BY_CID: &str = r#"
+declare namespace uc1 = "urn:uc1";
+declare namespace cus = "ld:db1/CUSTOMER";
+declare procedure uc1:deleteByCID($cid as xs:string) as empty-sequence()
+{
+  declare $cust := cus:getByCID($cid);
+  if (fn:not(fn:empty($cust))) then cus:deleteCUSTOMER($cust);
+};
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_udelete");
+    g.sample_size(10);
+    for n in [100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("xqse_wrapper", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let d = demo::build(n, 0, 0).expect("demo");
+                    d.space.xqse().load(DELETE_BY_CID).expect("load");
+                    d
+                },
+                |d| {
+                    let mut env = xqeval::Env::new();
+                    black_box(
+                        d.space
+                            .xqse()
+                            .call_procedure(
+                                &QName::with_ns("urn:uc1", "deleteByCID"),
+                                vec![Sequence::one(Item::string((n / 2).to_string()))],
+                                &mut env,
+                            )
+                            .expect("call"),
+                    )
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("direct_default", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || demo::build(n, 0, 0).expect("demo"),
+                |d| {
+                    let key = xmlparse::parse(&format!(
+                        "<CUSTOMER><CID>{}</CID></CUSTOMER>",
+                        n / 2
+                    ))
+                    .expect("xml");
+                    let mut env = xqeval::Env::new();
+                    black_box(
+                        d.space
+                            .xqse()
+                            .call_procedure(
+                                &QName::with_ns("ld:db1/CUSTOMER", "deleteCUSTOMER"),
+                                vec![Sequence::one(Item::Node(key.children()[0].clone()))],
+                                &mut env,
+                            )
+                            .expect("call"),
+                    )
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E9: XA two-phase commit — protocol cost per crash-injection point
+//! (recovery included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aldsp::rel::{CrashPoint, SqlValue, TwoPhaseCoordinator, WriteOp};
+use xqse_bench::demo;
+
+fn ops(t: u64) -> (Vec<WriteOp>, Vec<WriteOp>) {
+    (
+        vec![WriteOp::Update {
+            table: "CUSTOMER".into(),
+            set: vec![("LAST_NAME".into(), SqlValue::Str(format!("t{t}")))],
+            cond: vec![("CID".into(), SqlValue::Int(1))],
+            expect_rows: 1,
+        }],
+        vec![WriteOp::Update {
+            table: "CREDIT_CARD".into(),
+            set: vec![("CC_BRAND".into(), SqlValue::Str(format!("b{t}")))],
+            cond: vec![("CCID".into(), SqlValue::Int(1))],
+            expect_rows: 1,
+        }],
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_xa");
+    g.sample_size(20);
+    for (name, crash) in [
+        ("no_crash", None),
+        ("crash_after_first_prepare", Some(CrashPoint::AfterFirstPrepare)),
+        ("crash_after_all_prepares", Some(CrashPoint::AfterAllPrepares)),
+        ("crash_after_first_commit", Some(CrashPoint::AfterFirstCommit)),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let d = demo::build(1, 1, 1).expect("demo");
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                let (o1, o2) = ops(t);
+                let coord = TwoPhaseCoordinator::new(vec![
+                    (d.db1.clone(), o1),
+                    (d.db2.clone(), o2),
+                ]);
+                black_box(coord.run_with_crash(crash))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

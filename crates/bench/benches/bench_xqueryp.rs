@@ -1,0 +1,27 @@
+//! E7: the §IV ablation — the same join-heavy program under XQSE
+//! (statements wrap an optimizable declarative core) vs XQueryP
+//! sequential mode (strict order, no join rewriting). The gap grows
+//! with data size: O(n) vs O(n²).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xqse_bench::{demo, join_program_xqse, join_program_xqueryp};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_xqueryp");
+    g.sample_size(10);
+    for n in [20usize, 100, 400] {
+        let d = demo::build(n, 0, 2).expect("demo");
+        g.bench_with_input(BenchmarkId::new("xqse", n), &n, |b, _| {
+            b.iter(|| black_box(join_program_xqse(&d.space)))
+        });
+        g.bench_with_input(BenchmarkId::new("xqueryp_sequential", n), &n, |b, _| {
+            b.iter(|| black_box(join_program_xqueryp(&d.space)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

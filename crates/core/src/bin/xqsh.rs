@@ -1,0 +1,109 @@
+//! xqsh — a small driver for XQSE programs.
+//!
+//! Usage:
+//!   xqsh <file.xqse> [--trace] [--xqueryp] [--doc URI=FILE]...
+//!   echo '{ return value 1 + 1; }' | xqsh -
+//!
+//! Runs the module (expression or block body) and prints the
+//! serialized result. `--trace` also prints `fn:trace` output;
+//! `--xqueryp` executes in XQueryP sequential mode (the §IV baseline);
+//! `--doc` registers an XML file so `fn:doc("URI")` resolves.
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use xqeval::{Engine, Env};
+use xqse::xqueryp::XqueryP;
+use xqse::Xqse;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xqsh <file.xqse | -> [--trace] [--xqueryp] [--doc URI=FILE]..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source_arg: Option<String> = None;
+    let mut trace = false;
+    let mut sequential = false;
+    let mut docs: Vec<(String, String)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--xqueryp" => sequential = true,
+            "--doc" => match it.next().and_then(|d| {
+                d.split_once('=').map(|(u, f)| (u.to_string(), f.to_string()))
+            }) {
+                Some(pair) => docs.push(pair),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if source_arg.is_none() => source_arg = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = source_arg else { return usage() };
+
+    let src = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("xqsh: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xqsh: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let engine = Rc::new(Engine::new());
+    for (uri, file) in docs {
+        let xml = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xqsh: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match xmlparse::parse(&xml) {
+            Ok(doc) => engine.register_document(uri, doc),
+            Err(e) => {
+                eprintln!("xqsh: cannot parse {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut env = Env::new();
+    let result = if sequential {
+        let xp = XqueryP::with_engine(engine);
+        xp.run_with_env(&src, &mut env)
+    } else {
+        let xqse = Xqse::with_engine(engine);
+        xqse.run_with_env(&src, &mut env)
+    };
+    if trace {
+        for line in env.trace_messages() {
+            eprintln!("trace: {line}");
+        }
+    }
+    match result {
+        Ok(seq) => {
+            println!("{}", xmlparse::serialize_sequence(&seq));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xqsh: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # xqse — the XQuery Scripting Extension engine
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! the **statement execution** layer that XQSE adds on top of XQuery
+//! (Borkar et al., *"XQSE: An XQuery Scripting Extension for the
+//! AquaLogic Data Services Platform"*, ICDE 2008).
+//!
+//! The processing model follows §III.B.1: *"Statement execution
+//! consists of sequential atomic operations that include evaluation of
+//! an XQuery expression, making changes to instances of XDM by
+//! applying a pending update list, assigning variables, and executing
+//! user-defined or external procedures. An operation may have side
+//! effects that are visible to subsequent operations."*
+//!
+//! Statements implemented (§III.B.4–13 and §III.C.14–16): Block and
+//! block variable declarations, Assignment (`set`), Return, Value
+//! statement, Procedure declaration/call, While, Iterate, If,
+//! Try-Catch, Update statement, Continue, Break, and Procedure Block.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xqse::Xqse;
+//!
+//! let xqse = Xqse::new();
+//! // The paper's "Hello, World" (§III.B.7).
+//! let out = xqse.run("{ return value \"Hello, World\"; }").unwrap();
+//! assert_eq!(out.string_value().unwrap(), "Hello, World");
+//! ```
+//!
+//! The crate also provides [`xqueryp`], an implementation of the
+//! *XQueryP* "sequential mode" semantics the paper compares against in
+//! §IV — procedural constructs that compose inside expressions and
+//! return concatenated values — used by the reproduction's ablation
+//! experiments.
+
+pub mod interp;
+pub mod validate;
+pub mod xqueryp;
+
+pub use interp::{exec_procedure, Flow, Xqse};
+pub use validate::{validate_module, validate_module_strict, Diagnostic};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,296 @@
+//! Minimal `xs:date` / `xs:dateTime` support.
+//!
+//! ALDSP data services routinely carry `ORDER_DATE`-style columns
+//! (Figure 3 of the paper), so the stack needs date values that parse,
+//! compare, and serialize. We implement the UTC-or-naive subset: an
+//! optional timezone offset is parsed and normalized into the stored
+//! instant, which is sufficient for the value comparisons the platform
+//! performs (optimistic-concurrency "sameness" checks and query
+//! predicates).
+
+use std::fmt;
+
+use crate::error::{ErrorCode, XdmError, XdmResult};
+
+/// An `xs:date` value (year, month, day), timezone-normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year (may be negative for BCE, though unused in practice).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+}
+
+/// An `xs:dateTime` value with second precision, timezone-normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DateTime {
+    /// The calendar date.
+    pub date: Date,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+fn bad(kind: &str, s: &str) -> XdmError {
+    XdmError::new(ErrorCode::FORG0001, format!("invalid {kind} literal: {s:?}"))
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> XdmResult<Date> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(XdmError::new(
+                ErrorCode::FORG0001,
+                format!("invalid date components {year:04}-{month:02}-{day:02}"),
+            ));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Parse `YYYY-MM-DD` with an optional trailing timezone
+    /// (`Z` or `±hh:mm`), which is accepted and ignored for dates.
+    pub fn parse(s: &str) -> XdmResult<Date> {
+        let t = s.trim();
+        let body = t
+            .strip_suffix('Z')
+            .unwrap_or_else(|| strip_tz_offset(t));
+        let mut parts = body.splitn(3, '-');
+        // A leading '-' (negative year) would produce an empty first
+        // chunk; negative years are out of scope for ALDSP data.
+        let (y, m, d) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(y), Some(m), Some(d)) => (y, m, d),
+            _ => return Err(bad("xs:date", s)),
+        };
+        if y.len() < 4 || m.len() != 2 || d.len() != 2 {
+            return Err(bad("xs:date", s));
+        }
+        let year: i32 = y.parse().map_err(|_| bad("xs:date", s))?;
+        let month: u8 = m.parse().map_err(|_| bad("xs:date", s))?;
+        let day: u8 = d.parse().map_err(|_| bad("xs:date", s))?;
+        Date::new(year, month, day).map_err(|_| bad("xs:date", s))
+    }
+
+    /// Days since a fixed epoch, for ordering and arithmetic.
+    pub fn to_days(&self) -> i64 {
+        // Howard Hinnant's civil-from-days inverse.
+        let y = self.year as i64 - if self.month <= 2 { 1 } else { 0 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146097 + doe - 719468
+    }
+}
+
+/// Strip a `±hh:mm` timezone suffix if present.
+fn strip_tz_offset(s: &str) -> &str {
+    if s.len() > 6 {
+        let tail = &s[s.len() - 6..];
+        let b = tail.as_bytes();
+        if (b[0] == b'+' || b[0] == b'-') && b[3] == b':' {
+            return &s[..s.len() - 6];
+        }
+    }
+    s
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl DateTime {
+    /// Construct a validated date-time.
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> XdmResult<DateTime> {
+        let date = Date::new(year, month, day)?;
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(XdmError::new(
+                ErrorCode::FORG0001,
+                format!("invalid time components {hour:02}:{minute:02}:{second:02}"),
+            ));
+        }
+        Ok(DateTime { date, hour, minute, second })
+    }
+
+    /// Parse `YYYY-MM-DDThh:mm:ss` with optional fractional seconds
+    /// (truncated) and optional timezone (`Z`/`±hh:mm`, normalized).
+    pub fn parse(s: &str) -> XdmResult<DateTime> {
+        let t = s.trim();
+        let (date_s, time_s) = t.split_once('T').ok_or_else(|| bad("xs:dateTime", s))?;
+        let date = Date::parse(date_s)?;
+        // Find timezone suffix on the time part.
+        let (time_body, offset_min) = if let Some(b) = time_s.strip_suffix('Z') {
+            (b, 0i32)
+        } else if time_s.len() > 6 {
+            let tail = &time_s[time_s.len() - 6..];
+            let bytes = tail.as_bytes();
+            if (bytes[0] == b'+' || bytes[0] == b'-') && bytes[3] == b':' {
+                let h: i32 = tail[1..3].parse().map_err(|_| bad("xs:dateTime", s))?;
+                let m: i32 = tail[4..6].parse().map_err(|_| bad("xs:dateTime", s))?;
+                let sign = if bytes[0] == b'+' { 1 } else { -1 };
+                (&time_s[..time_s.len() - 6], sign * (h * 60 + m))
+            } else {
+                (time_s, 0)
+            }
+        } else {
+            (time_s, 0)
+        };
+        // Truncate fractional seconds.
+        let time_body = time_body.split('.').next().unwrap_or(time_body);
+        let mut it = time_body.splitn(3, ':');
+        let (h, m, sec) = match (it.next(), it.next(), it.next()) {
+            (Some(h), Some(m), Some(sec)) => (h, m, sec),
+            _ => return Err(bad("xs:dateTime", s)),
+        };
+        let hour: u8 = h.parse().map_err(|_| bad("xs:dateTime", s))?;
+        let minute: u8 = m.parse().map_err(|_| bad("xs:dateTime", s))?;
+        let second: u8 = sec.parse().map_err(|_| bad("xs:dateTime", s))?;
+        let dt = DateTime::new(date.year, date.month, date.day, hour, minute, second)
+            .map_err(|_| bad("xs:dateTime", s))?;
+        Ok(dt.shift_minutes(-offset_min))
+    }
+
+    /// Seconds since the epoch used by [`Date::to_days`].
+    pub fn to_seconds(&self) -> i64 {
+        self.date.to_days() * 86_400
+            + self.hour as i64 * 3_600
+            + self.minute as i64 * 60
+            + self.second as i64
+    }
+
+    /// Shift by a number of minutes (used for timezone normalization).
+    fn shift_minutes(self, minutes: i32) -> DateTime {
+        if minutes == 0 {
+            return self;
+        }
+        let total = self.to_seconds() + minutes as i64 * 60;
+        DateTime::from_seconds(total)
+    }
+
+    /// Inverse of [`DateTime::to_seconds`].
+    pub fn from_seconds(total: i64) -> DateTime {
+        let days = total.div_euclid(86_400);
+        let rem = total.rem_euclid(86_400);
+        // civil_from_days
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = (y + if m <= 2 { 1 } else { 0 }) as i32;
+        DateTime {
+            date: Date { year, month: m, day: d },
+            hour: (rem / 3_600) as u8,
+            minute: ((rem % 3_600) / 60) as u8,
+            second: (rem % 60) as u8,
+        }
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parse_and_display() {
+        let d = Date::parse("2007-12-31").unwrap();
+        assert_eq!(d, Date::new(2007, 12, 31).unwrap());
+        assert_eq!(d.to_string(), "2007-12-31");
+        assert_eq!(Date::parse("2007-12-31Z").unwrap(), d);
+        assert_eq!(Date::parse("2007-12-31-08:00").unwrap(), d);
+    }
+
+    #[test]
+    fn date_rejects_invalid() {
+        for s in ["2007-13-01", "2007-02-30", "2007-00-10", "07-01-01", "garbage", "2007-1-1"] {
+            assert!(Date::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(Date::parse("2008-02-29").is_ok());
+        assert!(Date::parse("2007-02-29").is_err());
+        assert!(Date::parse("2000-02-29").is_ok());
+        assert!(Date::parse("1900-02-29").is_err());
+    }
+
+    #[test]
+    fn date_ordering_matches_days() {
+        let a = Date::parse("2007-12-31").unwrap();
+        let b = Date::parse("2008-01-01").unwrap();
+        assert!(a < b);
+        assert_eq!(b.to_days() - a.to_days(), 1);
+    }
+
+    #[test]
+    fn datetime_parse_and_normalize() {
+        let dt = DateTime::parse("2007-12-07T10:30:00").unwrap();
+        assert_eq!(dt.to_string(), "2007-12-07T10:30:00");
+        // +02:00 means the instant is 2 hours earlier in UTC.
+        let tz = DateTime::parse("2007-12-07T10:30:00+02:00").unwrap();
+        assert_eq!(tz.to_string(), "2007-12-07T08:30:00");
+        let z = DateTime::parse("2007-12-07T10:30:00Z").unwrap();
+        assert_eq!(z, dt);
+        // Fractional seconds are truncated.
+        let fr = DateTime::parse("2007-12-07T10:30:00.999").unwrap();
+        assert_eq!(fr, dt);
+    }
+
+    #[test]
+    fn datetime_seconds_round_trip() {
+        let dt = DateTime::parse("2026-07-06T23:59:59").unwrap();
+        assert_eq!(DateTime::from_seconds(dt.to_seconds()), dt);
+        let epoch = DateTime::parse("1970-01-01T00:00:00").unwrap();
+        assert_eq!(epoch.to_seconds(), 0);
+    }
+
+    #[test]
+    fn datetime_tz_crossing_midnight() {
+        let dt = DateTime::parse("2008-01-01T00:30:00+01:00").unwrap();
+        assert_eq!(dt.to_string(), "2007-12-31T23:30:00");
+    }
+}

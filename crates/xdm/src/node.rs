@@ -1,0 +1,1125 @@
+//! The XDM node store.
+//!
+//! Nodes live in a [`NodeArena`] — a flat `Vec` of node records indexed
+//! by [`NodeId`] — and are referenced through [`NodeHandle`]s that pair
+//! a shared arena pointer with an id. This gives us:
+//!
+//! - **node identity** (`is` comparisons) as `(arena, id)` equality;
+//! - **document order** as a structural path comparison within an
+//!   arena, with a global arena stamp ordering nodes from different
+//!   documents (the XDM permits any stable ordering across trees);
+//! - cheap **in-place mutation** for the XQuery Update Facility
+//!   primitives (insert, delete, replace, rename);
+//! - O(1) parent/child navigation for path expressions.
+//!
+//! The store is deliberately single-threaded (`Rc<RefCell<…>>`): one
+//! XQSE program executes on one thread, matching the paper's
+//! sequential statement-execution model. Cross-thread concurrency in
+//! the reproduction lives in the ALDSP source layer, not in XDM.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use crate::atomic::AtomicValue;
+use crate::error::{ErrorCode, XdmError, XdmResult};
+use crate::qname::QName;
+
+/// Index of a node within its arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The seven XDM node kinds (we omit namespace nodes; in-scope
+/// namespaces are tracked on elements directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Document root node.
+    Document,
+    /// Element node.
+    Element,
+    /// Attribute node.
+    Attribute,
+    /// Text node.
+    Text,
+    /// Comment node.
+    Comment,
+    /// Processing instruction node.
+    Pi,
+}
+
+#[derive(Debug, Clone)]
+enum NodeBody {
+    Document {
+        children: Vec<NodeId>,
+    },
+    Element {
+        name: QName,
+        attrs: Vec<NodeId>,
+        children: Vec<NodeId>,
+        /// Namespace declarations written on this element
+        /// (prefix → URI; empty prefix = default namespace).
+        ns_decls: Vec<(String, String)>,
+    },
+    Attribute {
+        name: QName,
+        value: String,
+    },
+    Text {
+        content: String,
+    },
+    Comment {
+        content: String,
+    },
+    Pi {
+        target: String,
+        content: String,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    parent: Option<NodeId>,
+    body: NodeBody,
+}
+
+static ARENA_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// A flat arena of nodes forming one or more trees.
+#[derive(Debug)]
+pub struct NodeArena {
+    stamp: u64,
+    nodes: Vec<NodeData>,
+}
+
+/// Shared, interiorly mutable arena pointer.
+pub type SharedArena = Rc<RefCell<NodeArena>>;
+
+impl NodeArena {
+    /// Create a fresh arena with a globally unique stamp.
+    pub fn new() -> SharedArena {
+        Rc::new(RefCell::new(NodeArena {
+            stamp: ARENA_STAMP.fetch_add(1, AtomicOrdering::Relaxed),
+            nodes: Vec::new(),
+        }))
+    }
+
+    /// The arena's globally unique creation stamp.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Number of node slots allocated (including detached nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn alloc(&mut self, parent: Option<NodeId>, body: NodeBody) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { parent, body });
+        id
+    }
+
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.0 as usize]
+    }
+}
+
+impl Default for NodeArena {
+    fn default() -> Self {
+        NodeArena {
+            stamp: ARENA_STAMP.fetch_add(1, AtomicOrdering::Relaxed),
+            nodes: Vec::new(),
+        }
+    }
+}
+
+/// A reference to a node: shared arena + id. Cloning is cheap.
+#[derive(Clone)]
+pub struct NodeHandle {
+    arena: SharedArena,
+    id: NodeId,
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NodeHandle({:?}@arena{})",
+            self.id,
+            self.arena.borrow().stamp
+        )
+    }
+}
+
+impl PartialEq for NodeHandle {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.arena, &other.arena) && self.id == other.id
+    }
+}
+impl Eq for NodeHandle {}
+
+impl std::hash::Hash for NodeHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (Rc::as_ptr(&self.arena) as usize).hash(state);
+        self.id.hash(state);
+    }
+}
+
+/// One step on the path from a root to a node; attributes sort before
+/// children, matching XDM document order (attributes follow their
+/// element but precede its children — we encode "element < its attrs
+/// < its children" by path prefix ordering plus this step ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PathStep {
+    Attr(usize),
+    Child(usize),
+}
+
+impl NodeHandle {
+    /// Construct a handle (mostly for internal/builder use).
+    pub fn new(arena: SharedArena, id: NodeId) -> NodeHandle {
+        NodeHandle { arena, id }
+    }
+
+    /// The node's arena.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
+    }
+
+    /// The node's id within its arena.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Create a new document node in a fresh arena.
+    pub fn new_document() -> NodeHandle {
+        let arena = NodeArena::new();
+        let id = arena
+            .borrow_mut()
+            .alloc(None, NodeBody::Document { children: Vec::new() });
+        NodeHandle { arena, id }
+    }
+
+    /// Create a detached element node in the given arena.
+    pub fn new_element(arena: &SharedArena, name: QName) -> NodeHandle {
+        let id = arena.borrow_mut().alloc(
+            None,
+            NodeBody::Element {
+                name,
+                attrs: Vec::new(),
+                children: Vec::new(),
+                ns_decls: Vec::new(),
+            },
+        );
+        NodeHandle { arena: arena.clone(), id }
+    }
+
+    /// Create a detached element in a fresh arena.
+    pub fn root_element(name: QName) -> NodeHandle {
+        let arena = NodeArena::new();
+        Self::new_element(&arena, name)
+    }
+
+    /// Create a detached attribute node.
+    pub fn new_attribute(
+        arena: &SharedArena,
+        name: QName,
+        value: impl Into<String>,
+    ) -> NodeHandle {
+        let id = arena
+            .borrow_mut()
+            .alloc(None, NodeBody::Attribute { name, value: value.into() });
+        NodeHandle { arena: arena.clone(), id }
+    }
+
+    /// Create a detached text node.
+    pub fn new_text(arena: &SharedArena, content: impl Into<String>) -> NodeHandle {
+        let id = arena
+            .borrow_mut()
+            .alloc(None, NodeBody::Text { content: content.into() });
+        NodeHandle { arena: arena.clone(), id }
+    }
+
+    /// Create a detached comment node.
+    pub fn new_comment(arena: &SharedArena, content: impl Into<String>) -> NodeHandle {
+        let id = arena
+            .borrow_mut()
+            .alloc(None, NodeBody::Comment { content: content.into() });
+        NodeHandle { arena: arena.clone(), id }
+    }
+
+    /// Create a detached processing-instruction node.
+    pub fn new_pi(
+        arena: &SharedArena,
+        target: impl Into<String>,
+        content: impl Into<String>,
+    ) -> NodeHandle {
+        let id = arena.borrow_mut().alloc(
+            None,
+            NodeBody::Pi { target: target.into(), content: content.into() },
+        );
+        NodeHandle { arena: arena.clone(), id }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&NodeData) -> R) -> R {
+        let arena = self.arena.borrow();
+        f(arena.data(self.id))
+    }
+
+    /// The node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.with(|d| match d.body {
+            NodeBody::Document { .. } => NodeKind::Document,
+            NodeBody::Element { .. } => NodeKind::Element,
+            NodeBody::Attribute { .. } => NodeKind::Attribute,
+            NodeBody::Text { .. } => NodeKind::Text,
+            NodeBody::Comment { .. } => NodeKind::Comment,
+            NodeBody::Pi { .. } => NodeKind::Pi,
+        })
+    }
+
+    /// The node name (elements and attributes; PI target is exposed as
+    /// a no-namespace QName).
+    pub fn name(&self) -> Option<QName> {
+        self.with(|d| match &d.body {
+            NodeBody::Element { name, .. } | NodeBody::Attribute { name, .. } => {
+                Some(name.clone())
+            }
+            NodeBody::Pi { target, .. } => Some(QName::new(target.clone())),
+            _ => None,
+        })
+    }
+
+    /// Parent node, if attached.
+    pub fn parent(&self) -> Option<NodeHandle> {
+        self.with(|d| d.parent)
+            .map(|p| NodeHandle { arena: self.arena.clone(), id: p })
+    }
+
+    /// Child nodes in order (document and element nodes).
+    pub fn children(&self) -> Vec<NodeHandle> {
+        self.with(|d| match &d.body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                children.clone()
+            }
+            _ => Vec::new(),
+        })
+        .into_iter()
+        .map(|id| NodeHandle { arena: self.arena.clone(), id })
+        .collect()
+    }
+
+    /// Attribute nodes in order (element nodes).
+    pub fn attributes(&self) -> Vec<NodeHandle> {
+        self.with(|d| match &d.body {
+            NodeBody::Element { attrs, .. } => attrs.clone(),
+            _ => Vec::new(),
+        })
+        .into_iter()
+        .map(|id| NodeHandle { arena: self.arena.clone(), id })
+        .collect()
+    }
+
+    /// Look up an attribute by expanded name.
+    pub fn attribute(&self, name: &QName) -> Option<NodeHandle> {
+        self.attributes()
+            .into_iter()
+            .find(|a| a.name().as_ref() == Some(name))
+    }
+
+    /// The attribute's or text-ish node's own content string.
+    pub fn content(&self) -> Option<String> {
+        self.with(|d| match &d.body {
+            NodeBody::Attribute { value, .. } => Some(value.clone()),
+            NodeBody::Text { content }
+            | NodeBody::Comment { content }
+            | NodeBody::Pi { content, .. } => Some(content.clone()),
+            _ => None,
+        })
+    }
+
+    /// Namespace declarations written on this element.
+    pub fn ns_decls(&self) -> Vec<(String, String)> {
+        self.with(|d| match &d.body {
+            NodeBody::Element { ns_decls, .. } => ns_decls.clone(),
+            _ => Vec::new(),
+        })
+    }
+
+    /// Add a namespace declaration to an element.
+    pub fn add_ns_decl(&self, prefix: impl Into<String>, uri: impl Into<String>) {
+        let mut arena = self.arena.borrow_mut();
+        if let NodeBody::Element { ns_decls, .. } = &mut arena.data_mut(self.id).body {
+            ns_decls.push((prefix.into(), uri.into()));
+        }
+    }
+
+    /// The XDM string value: for elements/documents the concatenation
+    /// of descendant text; for attributes/text/comments/PIs the content.
+    pub fn string_value(&self) -> String {
+        match self.kind() {
+            NodeKind::Document | NodeKind::Element => {
+                let mut out = String::new();
+                self.collect_text(&mut out);
+                out
+            }
+            _ => self.content().unwrap_or_default(),
+        }
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for c in self.children() {
+            match c.kind() {
+                NodeKind::Text => out.push_str(&c.content().unwrap_or_default()),
+                NodeKind::Element => c.collect_text(out),
+                _ => {}
+            }
+        }
+    }
+
+    /// The typed value. Without schema validation every node is
+    /// untyped, so this is `xs:untypedAtomic(string-value)`.
+    pub fn typed_value(&self) -> AtomicValue {
+        AtomicValue::Untyped(self.string_value())
+    }
+
+    /// The root of the tree containing this node.
+    pub fn root(&self) -> NodeHandle {
+        let mut cur = self.clone();
+        while let Some(p) = cur.parent() {
+            cur = p;
+        }
+        cur
+    }
+
+    /// All descendant nodes in document order (excluding attributes
+    /// and self).
+    pub fn descendants(&self) -> Vec<NodeHandle> {
+        let mut out = Vec::new();
+        fn walk(n: &NodeHandle, out: &mut Vec<NodeHandle>) {
+            for c in n.children() {
+                out.push(c.clone());
+                walk(&c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Ancestors from parent to root.
+    pub fn ancestors(&self) -> Vec<NodeHandle> {
+        let mut out = Vec::new();
+        let mut cur = self.parent();
+        while let Some(p) = cur {
+            cur = p.parent();
+            out.push(p);
+        }
+        out
+    }
+
+    /// Following siblings in document order.
+    pub fn following_siblings(&self) -> Vec<NodeHandle> {
+        match self.parent() {
+            None => Vec::new(),
+            Some(p) => {
+                let sibs = p.children();
+                let pos = sibs.iter().position(|s| s == self);
+                match pos {
+                    Some(i) => sibs[i + 1..].to_vec(),
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Preceding siblings in reverse document order.
+    pub fn preceding_siblings(&self) -> Vec<NodeHandle> {
+        match self.parent() {
+            None => Vec::new(),
+            Some(p) => {
+                let sibs = p.children();
+                let pos = sibs.iter().position(|s| s == self);
+                match pos {
+                    Some(i) => {
+                        let mut v = sibs[..i].to_vec();
+                        v.reverse();
+                        v
+                    }
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Structural path from the root, for document-order comparison.
+    fn path(&self) -> Vec<PathStep> {
+        let mut steps = Vec::new();
+        let mut cur = self.clone();
+        while let Some(p) = cur.parent() {
+            let step = if cur.kind() == NodeKind::Attribute {
+                let idx = p
+                    .attributes()
+                    .iter()
+                    .position(|a| *a == cur)
+                    .expect("attribute listed in parent");
+                PathStep::Attr(idx)
+            } else {
+                let idx = p
+                    .children()
+                    .iter()
+                    .position(|c| *c == cur)
+                    .expect("child listed in parent");
+                PathStep::Child(idx)
+            };
+            steps.push(step);
+            cur = p;
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// Total document order: within one arena, roots are ordered by id
+    /// and nodes by (root, path); across arenas, by arena stamp.
+    pub fn document_order(&self, other: &NodeHandle) -> std::cmp::Ordering {
+        if self == other {
+            return std::cmp::Ordering::Equal;
+        }
+        let (sa, sb) = (self.arena.borrow().stamp, other.arena.borrow().stamp);
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        let (ra, rb) = (self.root(), other.root());
+        if ra != rb {
+            return ra.id.cmp(&rb.id);
+        }
+        // Same tree: ancestors precede descendants; otherwise compare
+        // the first differing path step.
+        self.path().cmp(&other.path())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation primitives (builders + XQuery Update Facility).
+    // ------------------------------------------------------------------
+
+    fn same_arena(&self, other: &NodeHandle) -> bool {
+        Rc::ptr_eq(&self.arena, &other.arena)
+    }
+
+    /// Import `node` into this handle's arena if needed (deep copy);
+    /// returns a handle in this arena.
+    pub fn import(&self, node: &NodeHandle) -> NodeHandle {
+        if self.same_arena(node) {
+            node.clone()
+        } else {
+            node.deep_copy_into(&self.arena)
+        }
+    }
+
+    /// Deep-copy this node (and subtree) into the target arena,
+    /// producing a detached node with fresh identity.
+    pub fn deep_copy_into(&self, target: &SharedArena) -> NodeHandle {
+        match self.kind() {
+            NodeKind::Document => {
+                let body = NodeBody::Document { children: Vec::new() };
+                let id = target.borrow_mut().alloc(None, body);
+                let copy = NodeHandle { arena: target.clone(), id };
+                for c in self.children() {
+                    let cc = c.deep_copy_into(target);
+                    copy.push_child_raw(&cc);
+                }
+                copy
+            }
+            NodeKind::Element => {
+                let name = self.name().expect("element has name");
+                let ns_decls = self.ns_decls();
+                let body = NodeBody::Element {
+                    name,
+                    attrs: Vec::new(),
+                    children: Vec::new(),
+                    ns_decls,
+                };
+                let id = target.borrow_mut().alloc(None, body);
+                let copy = NodeHandle { arena: target.clone(), id };
+                for a in self.attributes() {
+                    let ac = a.deep_copy_into(target);
+                    copy.push_attribute_raw(&ac);
+                }
+                for c in self.children() {
+                    let cc = c.deep_copy_into(target);
+                    copy.push_child_raw(&cc);
+                }
+                copy
+            }
+            NodeKind::Attribute => NodeHandle::new_attribute(
+                target,
+                self.name().expect("attribute has name"),
+                self.content().unwrap_or_default(),
+            ),
+            NodeKind::Text => {
+                NodeHandle::new_text(target, self.content().unwrap_or_default())
+            }
+            NodeKind::Comment => {
+                NodeHandle::new_comment(target, self.content().unwrap_or_default())
+            }
+            NodeKind::Pi => {
+                let (t, c) = self.with(|d| match &d.body {
+                    NodeBody::Pi { target, content } => {
+                        (target.clone(), content.clone())
+                    }
+                    _ => unreachable!(),
+                });
+                NodeHandle::new_pi(target, t, c)
+            }
+        }
+    }
+
+    /// Deep-copy within a fresh arena (the XQuery `element {…}`
+    /// constructor copies content, giving new identities).
+    pub fn deep_copy(&self) -> NodeHandle {
+        let arena = NodeArena::new();
+        self.deep_copy_into(&arena)
+    }
+
+    fn push_child_raw(&self, child: &NodeHandle) {
+        debug_assert!(self.same_arena(child));
+        let mut arena = self.arena.borrow_mut();
+        arena.data_mut(child.id).parent = Some(self.id);
+        match &mut arena.data_mut(self.id).body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                children.push(child.id)
+            }
+            _ => panic!("push_child on leaf node"),
+        }
+    }
+
+    fn push_attribute_raw(&self, attr: &NodeHandle) {
+        debug_assert!(self.same_arena(attr));
+        let mut arena = self.arena.borrow_mut();
+        arena.data_mut(attr.id).parent = Some(self.id);
+        match &mut arena.data_mut(self.id).body {
+            NodeBody::Element { attrs, .. } => attrs.push(attr.id),
+            _ => panic!("push_attribute on non-element"),
+        }
+    }
+
+    /// Append a child, importing across arenas and merging adjacent
+    /// text nodes (XDM: no two adjacent text siblings).
+    pub fn append_child(&self, child: &NodeHandle) -> XdmResult<NodeHandle> {
+        match self.kind() {
+            NodeKind::Document | NodeKind::Element => {}
+            k => {
+                return Err(XdmError::new(
+                    ErrorCode::XUTY0008,
+                    format!("cannot append child to {k:?} node"),
+                ))
+            }
+        }
+        if child.kind() == NodeKind::Attribute {
+            return Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "cannot append attribute as child",
+            ));
+        }
+        let child = self.import(child);
+        // Merge adjacent text.
+        if child.kind() == NodeKind::Text {
+            if let Some(last) = self.children().last() {
+                if last.kind() == NodeKind::Text {
+                    let merged = format!(
+                        "{}{}",
+                        last.content().unwrap_or_default(),
+                        child.content().unwrap_or_default()
+                    );
+                    last.set_content(merged);
+                    return Ok(last.clone());
+                }
+            }
+            if child.content().as_deref() == Some("") {
+                return Ok(child);
+            }
+        }
+        self.push_child_raw(&child);
+        Ok(child)
+    }
+
+    /// Set or add an attribute on an element.
+    pub fn set_attribute(&self, attr: &NodeHandle) -> XdmResult<NodeHandle> {
+        if self.kind() != NodeKind::Element {
+            return Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "attributes only on elements",
+            ));
+        }
+        if attr.kind() != NodeKind::Attribute {
+            return Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "set_attribute requires an attribute node",
+            ));
+        }
+        let attr = self.import(attr);
+        let name = attr.name().expect("attribute has name");
+        if let Some(existing) = self.attribute(&name) {
+            existing.set_content(attr.content().unwrap_or_default());
+            Ok(existing)
+        } else {
+            self.push_attribute_raw(&attr);
+            Ok(attr)
+        }
+    }
+
+    /// Detach this node from its parent (XUF `delete`).
+    pub fn detach(&self) {
+        let parent = self.with(|d| d.parent);
+        let Some(pid) = parent else { return };
+        let mut arena = self.arena.borrow_mut();
+        match &mut arena.data_mut(pid).body {
+            NodeBody::Document { children } => children.retain(|c| *c != self.id),
+            NodeBody::Element { children, attrs, .. } => {
+                children.retain(|c| *c != self.id);
+                attrs.retain(|a| *a != self.id);
+            }
+            _ => {}
+        }
+        arena.data_mut(self.id).parent = None;
+    }
+
+    /// Insert `new` immediately before this node among its siblings
+    /// (XUF `insert … before`).
+    pub fn insert_before(&self, new: &NodeHandle) -> XdmResult<()> {
+        self.insert_adjacent(new, 0)
+    }
+
+    /// Insert `new` immediately after this node among its siblings
+    /// (XUF `insert … after`).
+    pub fn insert_after(&self, new: &NodeHandle) -> XdmResult<()> {
+        self.insert_adjacent(new, 1)
+    }
+
+    fn insert_adjacent(&self, new: &NodeHandle, offset: usize) -> XdmResult<()> {
+        let parent = self.parent().ok_or_else(|| {
+            XdmError::new(ErrorCode::XUTY0008, "target has no parent")
+        })?;
+        let new = parent.import(new);
+        let mut arena = self.arena.borrow_mut();
+        arena.data_mut(new.id).parent = Some(parent.id);
+        match &mut arena.data_mut(parent.id).body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                let pos = children
+                    .iter()
+                    .position(|c| *c == self.id)
+                    .ok_or_else(|| {
+                        XdmError::new(ErrorCode::XUTY0008, "target not a child")
+                    })?;
+                children.insert(pos + offset, new.id);
+                Ok(())
+            }
+            _ => Err(XdmError::new(ErrorCode::XUTY0008, "parent cannot hold children")),
+        }
+    }
+
+    /// Insert `new` as the first child (XUF `insert … as first into`).
+    pub fn insert_first_child(&self, new: &NodeHandle) -> XdmResult<()> {
+        match self.kind() {
+            NodeKind::Document | NodeKind::Element => {}
+            _ => {
+                return Err(XdmError::new(
+                    ErrorCode::XUTY0008,
+                    "insert into leaf node",
+                ))
+            }
+        }
+        let new = self.import(new);
+        let mut arena = self.arena.borrow_mut();
+        arena.data_mut(new.id).parent = Some(self.id);
+        match &mut arena.data_mut(self.id).body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                children.insert(0, new.id);
+                Ok(())
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Replace this node with a sequence of new nodes (XUF `replace`).
+    pub fn replace_with(&self, news: &[NodeHandle]) -> XdmResult<()> {
+        let parent = self.parent().ok_or_else(|| {
+            XdmError::new(ErrorCode::XUTY0008, "replace target has no parent")
+        })?;
+        if self.kind() == NodeKind::Attribute {
+            for n in news {
+                if n.kind() != NodeKind::Attribute {
+                    return Err(XdmError::new(
+                        ErrorCode::XUTY0008,
+                        "attribute may only be replaced by attributes",
+                    ));
+                }
+            }
+            self.detach();
+            for n in news {
+                parent.set_attribute(n)?;
+            }
+            return Ok(());
+        }
+        for n in news {
+            self.insert_before(n)?;
+        }
+        self.detach();
+        Ok(())
+    }
+
+    /// Replace the value of a text/attribute node, or the entire text
+    /// content of an element (XUF `replace value of`).
+    pub fn replace_value(&self, value: &str) -> XdmResult<()> {
+        match self.kind() {
+            NodeKind::Attribute | NodeKind::Text | NodeKind::Comment | NodeKind::Pi => {
+                self.set_content(value.to_string());
+                Ok(())
+            }
+            NodeKind::Element => {
+                for c in self.children() {
+                    c.detach();
+                }
+                if !value.is_empty() {
+                    let t = NodeHandle::new_text(&self.arena, value);
+                    self.push_child_raw(&t);
+                }
+                Ok(())
+            }
+            NodeKind::Document => Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "cannot replace value of document node",
+            )),
+        }
+    }
+
+    /// Rename an element or attribute (XUF `rename`).
+    pub fn rename(&self, new_name: QName) -> XdmResult<()> {
+        let mut arena = self.arena.borrow_mut();
+        match &mut arena.data_mut(self.id).body {
+            NodeBody::Element { name, .. } | NodeBody::Attribute { name, .. } => {
+                *name = new_name;
+                Ok(())
+            }
+            _ => Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "rename target must be element or attribute",
+            )),
+        }
+    }
+
+    fn set_content(&self, value: String) {
+        let mut arena = self.arena.borrow_mut();
+        match &mut arena.data_mut(self.id).body {
+            NodeBody::Attribute { value: v, .. } => *v = value,
+            NodeBody::Text { content }
+            | NodeBody::Comment { content }
+            | NodeBody::Pi { content, .. } => *content = value,
+            _ => {}
+        }
+    }
+
+    /// Deep structural equality (`fn:deep-equal` on nodes): same kind,
+    /// name, attributes (order-insensitive), and children (order-
+    /// sensitive), ignoring node identity.
+    pub fn deep_equal(&self, other: &NodeHandle) -> bool {
+        if self.kind() != other.kind() || self.name() != other.name() {
+            return false;
+        }
+        match self.kind() {
+            NodeKind::Attribute | NodeKind::Text | NodeKind::Comment | NodeKind::Pi => {
+                self.content() == other.content()
+            }
+            NodeKind::Document | NodeKind::Element => {
+                let (mut a_attrs, mut b_attrs) = (self.attributes(), other.attributes());
+                if a_attrs.len() != b_attrs.len() {
+                    return false;
+                }
+                let key = |n: &NodeHandle| n.name().map(|q| q.clark()).unwrap_or_default();
+                a_attrs.sort_by_key(key);
+                b_attrs.sort_by_key(key);
+                if !a_attrs
+                    .iter()
+                    .zip(&b_attrs)
+                    .all(|(x, y)| x.name() == y.name() && x.content() == y.content())
+                {
+                    return false;
+                }
+                // Ignore comments and PIs in content comparison.
+                let filt = |v: Vec<NodeHandle>| -> Vec<NodeHandle> {
+                    v.into_iter()
+                        .filter(|c| {
+                            matches!(c.kind(), NodeKind::Element | NodeKind::Text)
+                        })
+                        .collect()
+                };
+                let (ac, bc) = (filt(self.children()), filt(other.children()));
+                ac.len() == bc.len()
+                    && ac.iter().zip(&bc).all(|(x, y)| x.deep_equal(y))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> NodeHandle {
+        // <root a="1"><x>hello</x><y><z/>world</y></root>
+        let root = NodeHandle::root_element(QName::new("root"));
+        let arena = root.arena().clone();
+        let a = NodeHandle::new_attribute(&arena, QName::new("a"), "1");
+        root.set_attribute(&a).unwrap();
+        let x = NodeHandle::new_element(&arena, QName::new("x"));
+        root.append_child(&x).unwrap();
+        x.append_child(&NodeHandle::new_text(&arena, "hello")).unwrap();
+        let y = NodeHandle::new_element(&arena, QName::new("y"));
+        root.append_child(&y).unwrap();
+        let z = NodeHandle::new_element(&arena, QName::new("z"));
+        y.append_child(&z).unwrap();
+        y.append_child(&NodeHandle::new_text(&arena, "world")).unwrap();
+        root
+    }
+
+    #[test]
+    fn navigation_and_string_value() {
+        let root = sample_tree();
+        assert_eq!(root.kind(), NodeKind::Element);
+        assert_eq!(root.children().len(), 2);
+        assert_eq!(root.string_value(), "helloworld");
+        let x = &root.children()[0];
+        assert_eq!(x.name().unwrap().local, "x");
+        assert_eq!(x.string_value(), "hello");
+        assert_eq!(x.parent().unwrap(), root);
+        assert_eq!(root.attribute(&QName::new("a")).unwrap().content().unwrap(), "1");
+        assert!(root.attribute(&QName::new("b")).is_none());
+    }
+
+    #[test]
+    fn identity_vs_structural_equality() {
+        let t1 = sample_tree();
+        let t2 = sample_tree();
+        assert_ne!(t1, t2); // distinct identities
+        assert!(t1.deep_equal(&t2)); // same structure
+        let copy = t1.deep_copy();
+        assert_ne!(t1, copy);
+        assert!(t1.deep_equal(&copy));
+    }
+
+    #[test]
+    fn document_order_is_preorder() {
+        let root = sample_tree();
+        let kids = root.children();
+        let (x, y) = (&kids[0], &kids[1]);
+        let z = &y.children()[0];
+        assert_eq!(root.document_order(x), std::cmp::Ordering::Less);
+        assert_eq!(x.document_order(y), std::cmp::Ordering::Less);
+        assert_eq!(y.document_order(z), std::cmp::Ordering::Less);
+        assert_eq!(x.document_order(z), std::cmp::Ordering::Less);
+        assert_eq!(z.document_order(x), std::cmp::Ordering::Greater);
+        assert_eq!(x.document_order(x), std::cmp::Ordering::Equal);
+        // Attribute follows the element but precedes its children.
+        let a = root.attribute(&QName::new("a")).unwrap();
+        assert_eq!(root.document_order(&a), std::cmp::Ordering::Less);
+        assert_eq!(a.document_order(x), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn cross_arena_order_is_stable() {
+        let t1 = sample_tree();
+        let t2 = sample_tree();
+        let o12 = t1.document_order(&t2);
+        let o21 = t2.document_order(&t1);
+        assert_ne!(o12, std::cmp::Ordering::Equal);
+        assert_eq!(o12, o21.reverse());
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let root = sample_tree();
+        let names: Vec<String> = root
+            .descendants()
+            .iter()
+            .map(|n| match n.kind() {
+                NodeKind::Element => n.name().unwrap().local,
+                NodeKind::Text => format!("#{}", n.content().unwrap()),
+                _ => "?".into(),
+            })
+            .collect();
+        assert_eq!(names, vec!["x", "#hello", "y", "z", "#world"]);
+    }
+
+    #[test]
+    fn text_merging_on_append() {
+        let e = NodeHandle::root_element(QName::new("e"));
+        let arena = e.arena().clone();
+        e.append_child(&NodeHandle::new_text(&arena, "a")).unwrap();
+        e.append_child(&NodeHandle::new_text(&arena, "b")).unwrap();
+        assert_eq!(e.children().len(), 1);
+        assert_eq!(e.string_value(), "ab");
+        // Empty text is dropped.
+        e.append_child(&NodeHandle::new_element(&arena, QName::new("c"))).unwrap();
+        e.append_child(&NodeHandle::new_text(&arena, "")).unwrap();
+        assert_eq!(e.children().len(), 2);
+    }
+
+    #[test]
+    fn detach_and_reinsert() {
+        let root = sample_tree();
+        let kids = root.children();
+        let x = kids[0].clone();
+        x.detach();
+        assert_eq!(root.children().len(), 1);
+        assert!(x.parent().is_none());
+        let y = &root.children()[0];
+        y.insert_before(&x).unwrap();
+        assert_eq!(root.children()[0], x);
+    }
+
+    #[test]
+    fn insert_before_after_first() {
+        let root = sample_tree();
+        let arena = root.arena().clone();
+        let n = NodeHandle::new_element(&arena, QName::new("n"));
+        root.children()[0].insert_after(&n).unwrap();
+        let names: Vec<_> = root
+            .children()
+            .iter()
+            .map(|c| c.name().unwrap().local)
+            .collect();
+        assert_eq!(names, vec!["x", "n", "y"]);
+        let m = NodeHandle::new_element(&arena, QName::new("m"));
+        root.insert_first_child(&m).unwrap();
+        assert_eq!(root.children()[0].name().unwrap().local, "m");
+    }
+
+    #[test]
+    fn replace_with_and_replace_value() {
+        let root = sample_tree();
+        let arena = root.arena().clone();
+        let r1 = NodeHandle::new_element(&arena, QName::new("r1"));
+        let r2 = NodeHandle::new_element(&arena, QName::new("r2"));
+        root.children()[0].replace_with(&[r1, r2]).unwrap();
+        let names: Vec<_> = root
+            .children()
+            .iter()
+            .map(|c| c.name().unwrap().local)
+            .collect();
+        assert_eq!(names, vec!["r1", "r2", "y"]);
+        let y = root.children()[2].clone();
+        y.replace_value("flat").unwrap();
+        assert_eq!(y.children().len(), 1);
+        assert_eq!(y.string_value(), "flat");
+    }
+
+    #[test]
+    fn rename_element_and_attribute() {
+        let root = sample_tree();
+        root.rename(QName::new("renamed")).unwrap();
+        assert_eq!(root.name().unwrap().local, "renamed");
+        let a = root.attribute(&QName::new("a")).unwrap();
+        a.rename(QName::new("b")).unwrap();
+        assert!(root.attribute(&QName::new("a")).is_none());
+        assert!(root.attribute(&QName::new("b")).is_some());
+        let t = root.children()[0].children().first().cloned();
+        if let Some(t) = t {
+            if t.kind() == NodeKind::Text {
+                assert!(t.rename(QName::new("x")).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn import_copies_across_arenas() {
+        let t1 = sample_tree();
+        let t2 = sample_tree();
+        let x2 = t2.children()[0].clone();
+        let before = t2.children().len();
+        t1.append_child(&x2).unwrap();
+        // Original tree unaffected — append imported a copy.
+        assert_eq!(t2.children().len(), before);
+        assert_eq!(t1.children().len(), 3);
+    }
+
+    #[test]
+    fn set_attribute_overwrites_same_name() {
+        let root = sample_tree();
+        let arena = root.arena().clone();
+        let a2 = NodeHandle::new_attribute(&arena, QName::new("a"), "2");
+        root.set_attribute(&a2).unwrap();
+        assert_eq!(root.attributes().len(), 1);
+        assert_eq!(
+            root.attribute(&QName::new("a")).unwrap().content().unwrap(),
+            "2"
+        );
+    }
+
+    #[test]
+    fn append_child_rejects_bad_shapes() {
+        let root = sample_tree();
+        let arena = root.arena().clone();
+        let a = NodeHandle::new_attribute(&arena, QName::new("q"), "v");
+        assert!(root.append_child(&a).is_err());
+        let t = NodeHandle::new_text(&arena, "t");
+        assert!(t.append_child(&root).is_err());
+    }
+
+    #[test]
+    fn deep_equal_ignores_attr_order_and_comments() {
+        let e1 = NodeHandle::root_element(QName::new("e"));
+        let a1 = e1.arena().clone();
+        e1.set_attribute(&NodeHandle::new_attribute(&a1, QName::new("p"), "1")).unwrap();
+        e1.set_attribute(&NodeHandle::new_attribute(&a1, QName::new("q"), "2")).unwrap();
+        e1.append_child(&NodeHandle::new_comment(&a1, "ignore me")).unwrap();
+
+        let e2 = NodeHandle::root_element(QName::new("e"));
+        let a2 = e2.arena().clone();
+        e2.set_attribute(&NodeHandle::new_attribute(&a2, QName::new("q"), "2")).unwrap();
+        e2.set_attribute(&NodeHandle::new_attribute(&a2, QName::new("p"), "1")).unwrap();
+
+        assert!(e1.deep_equal(&e2));
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let root = sample_tree();
+        let kids = root.children();
+        let (x, y) = (&kids[0], &kids[1]);
+        assert_eq!(x.following_siblings(), vec![y.clone()]);
+        assert_eq!(y.preceding_siblings(), vec![x.clone()]);
+        assert!(root.following_siblings().is_empty());
+    }
+
+    #[test]
+    fn ancestors_and_root() {
+        let root = sample_tree();
+        let z = root.children()[1].children()[0].clone();
+        let anc: Vec<_> = z
+            .ancestors()
+            .iter()
+            .map(|n| n.name().unwrap().local)
+            .collect();
+        assert_eq!(anc, vec!["y", "root"]);
+        assert_eq!(z.root(), root);
+    }
+
+    #[test]
+    fn document_node_wraps_element() {
+        let doc = NodeHandle::new_document();
+        let e = NodeHandle::new_element(doc.arena(), QName::new("top"));
+        doc.append_child(&e).unwrap();
+        assert_eq!(doc.kind(), NodeKind::Document);
+        assert_eq!(e.root(), doc);
+        assert_eq!(doc.children().len(), 1);
+    }
+}

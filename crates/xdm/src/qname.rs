@@ -1,0 +1,190 @@
+//! Qualified names.
+//!
+//! A [`QName`] is a (namespace URI, local name) pair with an optional
+//! lexical prefix. Equality and hashing consider only the *expanded*
+//! name — namespace URI and local part — as required by XQuery; the
+//! prefix is retained purely for serialization fidelity.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Well-known namespace URIs.
+pub const XS_NS: &str = "http://www.w3.org/2001/XMLSchema";
+/// The `fn:` builtin-function namespace.
+pub const FN_NS: &str = "http://www.w3.org/2005/xpath-functions";
+/// The `xml:` namespace.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// An expanded qualified name.
+#[derive(Debug, Clone)]
+pub struct QName {
+    /// Lexical prefix, if any (not part of identity).
+    pub prefix: Option<String>,
+    /// Namespace URI, if any.
+    pub ns: Option<String>,
+    /// Local part.
+    pub local: String,
+}
+
+impl QName {
+    /// A QName with no namespace.
+    pub fn new(local: impl Into<String>) -> Self {
+        QName { prefix: None, ns: None, local: local.into() }
+    }
+
+    /// A QName in a namespace, without a prefix.
+    pub fn with_ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
+        QName { prefix: None, ns: Some(ns.into()), local: local.into() }
+    }
+
+    /// A QName with both a prefix and a namespace.
+    pub fn with_prefix_ns(
+        prefix: impl Into<String>,
+        ns: impl Into<String>,
+        local: impl Into<String>,
+    ) -> Self {
+        QName {
+            prefix: Some(prefix.into()),
+            ns: Some(ns.into()),
+            local: local.into(),
+        }
+    }
+
+    /// Parse a lexical QName (`prefix:local` or `local`). The prefix is
+    /// recorded but not resolved; resolution against in-scope
+    /// namespaces is the parser's/evaluator's job.
+    pub fn parse_lexical(s: &str) -> Option<QName> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        match s.split_once(':') {
+            Some((p, l)) => {
+                if p.is_empty() || l.is_empty() || l.contains(':') {
+                    None
+                } else {
+                    Some(QName {
+                        prefix: Some(p.to_string()),
+                        ns: None,
+                        local: l.to_string(),
+                    })
+                }
+            }
+            None => Some(QName::new(s)),
+        }
+    }
+
+    /// The `xs:`-namespace QName with the given local name.
+    pub fn xs(local: impl Into<String>) -> Self {
+        QName::with_prefix_ns("xs", XS_NS, local)
+    }
+
+    /// The `fn:`-namespace QName with the given local name.
+    pub fn fn_(local: impl Into<String>) -> Self {
+        QName::with_prefix_ns("fn", FN_NS, local)
+    }
+
+    /// Expanded-name equality against namespace/local parts.
+    pub fn matches(&self, ns: Option<&str>, local: &str) -> bool {
+        self.ns.as_deref() == ns && self.local == local
+    }
+
+    /// The lexical form: `prefix:local` if a prefix is present, else
+    /// `local`.
+    pub fn lexical(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{}:{}", p, self.local),
+            None => self.local.clone(),
+        }
+    }
+
+    /// Clark notation: `{ns}local`, used in error messages.
+    pub fn clark(&self) -> String {
+        match &self.ns {
+            Some(ns) => format!("{{{}}}{}", ns, self.local),
+            None => self.local.clone(),
+        }
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.ns == other.ns && self.local == other.local
+    }
+}
+impl Eq for QName {}
+
+impl Hash for QName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.ns.hash(state);
+        self.local.hash(state);
+    }
+}
+
+impl PartialOrd for QName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.ns, &self.local).cmp(&(&other.ns, &other.local))
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lexical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(q: &QName) -> u64 {
+        let mut h = DefaultHasher::new();
+        q.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_ignores_prefix() {
+        let a = QName::with_prefix_ns("a", "urn:x", "name");
+        let b = QName::with_prefix_ns("b", "urn:x", "name");
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn equality_respects_namespace() {
+        let a = QName::with_ns("urn:x", "name");
+        let b = QName::with_ns("urn:y", "name");
+        let c = QName::new("name");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parse_lexical_forms() {
+        let q = QName::parse_lexical("ns1:getProfile").unwrap();
+        assert_eq!(q.prefix.as_deref(), Some("ns1"));
+        assert_eq!(q.local, "getProfile");
+        let q = QName::parse_lexical("CUSTOMER").unwrap();
+        assert_eq!(q.prefix, None);
+        assert_eq!(q.local, "CUSTOMER");
+        assert!(QName::parse_lexical("").is_none());
+        assert!(QName::parse_lexical(":x").is_none());
+        assert!(QName::parse_lexical("a:").is_none());
+        assert!(QName::parse_lexical("a:b:c").is_none());
+    }
+
+    #[test]
+    fn lexical_and_clark_forms() {
+        let q = QName::with_prefix_ns("xs", XS_NS, "integer");
+        assert_eq!(q.lexical(), "xs:integer");
+        assert_eq!(q.clark(), format!("{{{}}}integer", XS_NS));
+        assert_eq!(QName::new("x").clark(), "x");
+    }
+}

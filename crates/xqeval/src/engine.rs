@@ -1,0 +1,310 @@
+//! The engine: registries for functions, procedures, global variables,
+//! and documents; the entry points for loading modules and evaluating
+//! queries.
+//!
+//! ALDSP binds physical sources by registering *external* functions
+//! (reads, pure) and *external procedures* (create/update/delete,
+//! side-effecting) here — exactly the "set of external XQSE procedures
+//! … automatically provided … as a callable means to modify relational
+//! source data" of §III.A.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xdm::datetime::DateTime;
+use xdm::error::{ErrorCode, XdmError, XdmResult};
+use xdm::node::NodeHandle;
+use xdm::qname::QName;
+use xdm::sequence::Sequence;
+
+use xqparser::ast::{FunctionDecl, Module, ProcedureDecl, QueryBody};
+use xqparser::parser::parse_module;
+
+use crate::context::Env;
+use crate::eval::Evaluator;
+
+/// A native (Rust) implementation bound to a QName/arity: the bridge
+/// to ALDSP physical sources and other host functionality.
+pub type ExternalFn = Rc<dyn Fn(&mut Env, Vec<Sequence>) -> XdmResult<Sequence>>;
+
+/// Hook installed by the XQSE statement engine so that the expression
+/// evaluator can call *user-defined readonly procedures* (which
+/// require statement execution).
+pub type ProcRunner =
+    Rc<dyn Fn(&Engine, &ProcedureDecl, Vec<Sequence>, &mut Env) -> XdmResult<Sequence>>;
+
+/// A registered function implementation.
+#[derive(Clone)]
+pub enum FunctionKind {
+    /// A user-declared XQuery function.
+    User(Rc<FunctionDecl>),
+    /// A native implementation (assumed pure unless `updating`).
+    External {
+        /// The implementation.
+        f: ExternalFn,
+        /// True if the function produces updates (XUF updating
+        /// function).
+        updating: bool,
+    },
+}
+
+/// A registered procedure implementation.
+#[derive(Clone)]
+pub enum ProcKind {
+    /// A user-declared XQSE procedure.
+    User(Rc<ProcedureDecl>),
+    /// A native implementation.
+    External {
+        /// The implementation.
+        f: ExternalFn,
+        /// Readonly procedures may be called from expressions.
+        readonly: bool,
+    },
+}
+
+/// The evaluation engine.
+pub struct Engine {
+    functions: RefCell<HashMap<(QName, usize), FunctionKind>>,
+    procedures: RefCell<HashMap<(QName, usize), ProcKind>>,
+    globals: RefCell<HashMap<QName, Sequence>>,
+    documents: RefCell<HashMap<String, NodeHandle>>,
+    proc_runner: RefCell<Option<ProcRunner>>,
+    /// Fixed "current" instant for fn:current-date/dateTime —
+    /// deterministic by design (tests and reproducible benchmarks).
+    now: Cell<DateTime>,
+    /// Enable declarative-core optimizations (hash-join memoization).
+    /// The XQueryP-comparison experiments switch this off to model
+    /// sequential-mode evaluation, where reordering is not permitted
+    /// (paper §IV).
+    optimize: Cell<bool>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with builtins only.
+    pub fn new() -> Engine {
+        Engine {
+            functions: RefCell::new(HashMap::new()),
+            procedures: RefCell::new(HashMap::new()),
+            globals: RefCell::new(HashMap::new()),
+            documents: RefCell::new(HashMap::new()),
+            proc_runner: RefCell::new(None),
+            now: Cell::new(
+                DateTime::parse("2007-12-07T10:30:00").expect("valid literal"),
+            ),
+            optimize: Cell::new(true),
+        }
+    }
+
+    /// Register an external (native) function.
+    pub fn register_external_function(
+        &self,
+        name: QName,
+        arity: usize,
+        f: ExternalFn,
+    ) {
+        self.functions
+            .borrow_mut()
+            .insert((name, arity), FunctionKind::External { f, updating: false });
+    }
+
+    /// Register an external procedure (side-effecting unless
+    /// `readonly`).
+    pub fn register_external_procedure(
+        &self,
+        name: QName,
+        arity: usize,
+        readonly: bool,
+        f: ExternalFn,
+    ) {
+        self.procedures
+            .borrow_mut()
+            .insert((name, arity), ProcKind::External { f, readonly });
+    }
+
+    /// Bind a global variable (external variables, ALDSP parameters).
+    pub fn set_global(&self, name: QName, value: Sequence) {
+        self.globals.borrow_mut().insert(name, value);
+    }
+
+    /// Look up a global variable.
+    pub fn global(&self, name: &QName) -> Option<Sequence> {
+        self.globals.borrow().get(name).cloned()
+    }
+
+    /// Register a document for `fn:doc`.
+    pub fn register_document(&self, uri: impl Into<String>, doc: NodeHandle) {
+        self.documents.borrow_mut().insert(uri.into(), doc);
+    }
+
+    /// Resolve a document registered for `fn:doc`.
+    pub fn document(&self, uri: &str) -> Option<NodeHandle> {
+        self.documents.borrow().get(uri).cloned()
+    }
+
+    /// Install the statement-engine hook that runs user procedures.
+    pub fn install_proc_runner(&self, runner: ProcRunner) {
+        *self.proc_runner.borrow_mut() = Some(runner);
+    }
+
+    /// The installed procedure runner, if any.
+    pub fn proc_runner(&self) -> Option<ProcRunner> {
+        self.proc_runner.borrow().clone()
+    }
+
+    /// Fixed current dateTime.
+    pub fn now(&self) -> DateTime {
+        self.now.get()
+    }
+
+    /// Override the engine clock (deterministic tests/benches).
+    pub fn set_now(&self, now: DateTime) {
+        self.now.set(now);
+    }
+
+    /// Whether declarative optimizations are enabled.
+    pub fn optimize_enabled(&self) -> bool {
+        self.optimize.get()
+    }
+
+    /// Toggle declarative optimizations (the XQueryP sequential-mode
+    /// comparison disables them).
+    pub fn set_optimize(&self, on: bool) {
+        self.optimize.set(on);
+    }
+
+    /// Look up a function by expanded name and arity.
+    pub fn function(&self, name: &QName, arity: usize) -> Option<FunctionKind> {
+        self.functions.borrow().get(&(name.clone(), arity)).cloned()
+    }
+
+    /// Look up a procedure by expanded name and arity.
+    pub fn procedure(&self, name: &QName, arity: usize) -> Option<ProcKind> {
+        self.procedures.borrow().get(&(name.clone(), arity)).cloned()
+    }
+
+    /// Parse a module and register its prolog declarations. Global
+    /// variable initializers are evaluated immediately, in order.
+    /// Returns the parsed module (the body is *not* executed here).
+    pub fn load(&self, src: &str) -> XdmResult<Module> {
+        let module = parse_module(src)?;
+        self.load_prolog(&module)?;
+        Ok(module)
+    }
+
+    /// Register a pre-parsed module's prolog.
+    pub fn load_prolog(&self, module: &Module) -> XdmResult<()> {
+        for f in &module.prolog.functions {
+            let key = (f.name.clone(), f.params.len());
+            if f.body.is_none() {
+                // `external`: the host must have registered it
+                // already; keep an existing registration.
+                if self.functions.borrow().contains_key(&key) {
+                    continue;
+                }
+                return Err(XdmError::new(
+                    ErrorCode::XPST0017,
+                    format!(
+                        "external function {}#{} has no host binding",
+                        f.name,
+                        f.params.len()
+                    ),
+                ));
+            }
+            self.functions
+                .borrow_mut()
+                .insert(key, FunctionKind::User(Rc::new(f.clone())));
+        }
+        for p in &module.prolog.procedures {
+            let key = (p.name.clone(), p.params.len());
+            if p.body.is_none() {
+                if self.procedures.borrow().contains_key(&key) {
+                    continue;
+                }
+                return Err(XdmError::new(
+                    ErrorCode::XPST0017,
+                    format!(
+                        "external procedure {}#{} has no host binding",
+                        p.name,
+                        p.params.len()
+                    ),
+                ));
+            }
+            self.procedures
+                .borrow_mut()
+                .insert(key, ProcKind::User(Rc::new(p.clone())));
+        }
+        // Global variables, in declaration order.
+        for v in &module.prolog.variables {
+            match &v.value {
+                Some(init) => {
+                    let mut env = Env::new();
+                    let value = Evaluator::new(self).eval(init, &mut env)?;
+                    if let Some(ty) = &v.ty {
+                        ty.check(&value, &format!("declare variable ${}", v.name))?;
+                    }
+                    self.globals.borrow_mut().insert(v.name.clone(), value);
+                }
+                None => {
+                    if !self.globals.borrow().contains_key(&v.name) {
+                        return Err(XdmError::new(
+                            ErrorCode::XPST0008,
+                            format!("external variable ${} is unbound", v.name),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a module and evaluate its query body, which must be an
+    /// expression (use the `xqse` crate for block bodies).
+    pub fn eval_query(&self, src: &str) -> XdmResult<Sequence> {
+        let module = self.load(src)?;
+        match &module.body {
+            QueryBody::Expr(e) => {
+                let mut env = Env::new();
+                Evaluator::new(self).eval(e, &mut env)
+            }
+            QueryBody::None => Ok(Sequence::empty()),
+            QueryBody::Block(_) => Err(XdmError::new(
+                ErrorCode::XPST0003,
+                "query body is an XQSE block; use the xqse statement engine",
+            )),
+        }
+    }
+
+    /// Evaluate a standalone expression string with extra namespace
+    /// bindings, in a fresh context.
+    pub fn eval_expr_str(
+        &self,
+        src: &str,
+        extra_ns: &[(&str, &str)],
+    ) -> XdmResult<Sequence> {
+        let expr = xqparser::parser::parse_expr(src, extra_ns)?;
+        let mut env = Env::new();
+        Evaluator::new(self).eval(&expr, &mut env)
+    }
+
+    /// Evaluate a parsed expression in a given context.
+    pub fn eval_in(&self, expr: &xqparser::ast::Expr, env: &mut Env) -> XdmResult<Sequence> {
+        Evaluator::new(self).eval(expr, env)
+    }
+
+    /// Call a registered function or readonly procedure by name.
+    pub fn call(
+        &self,
+        name: &QName,
+        args: Vec<Sequence>,
+        env: &mut Env,
+    ) -> XdmResult<Sequence> {
+        Evaluator::new(self).call_function(name, args, env)
+    }
+}

@@ -1,0 +1,663 @@
+//! The tokenizer.
+//!
+//! XQuery has no reserved words — every keyword is also a valid NCName
+//! — so the lexer emits *names* and the parser decides contextually
+//! whether `for`, `while`, `iterate`, … are keywords. The lexer also
+//! exposes raw character-level access used by the parser for direct
+//! element constructors, whose content is not token-structured.
+//!
+//! Comments `(: … :)` nest and are skipped as whitespace.
+
+use xdm::error::{ErrorCode, XdmError, XdmResult};
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A name, possibly prefixed: (`prefix?`, `local`). Keywords
+    /// arrive as unprefixed names.
+    Name(Option<String>, String),
+    /// `$name` — (`prefix?`, `local`).
+    Var(Option<String>, String),
+    /// `prefix:*`
+    PrefixWildcard(String),
+    /// `*:local`
+    LocalWildcard(String),
+    /// `*:*`
+    FullWildcard,
+    /// A string literal (escapes already decoded).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A decimal literal (raw text; exactness preserved).
+    Dec(String),
+    /// A double literal.
+    Dbl(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:=`
+    ColonEq,
+    /// `::`
+    ColonColon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    LtLt,
+    /// `>>`
+    GtGt,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `@`
+    At,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `|`
+    Pipe,
+    /// `?`
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Is this token the given unprefixed keyword/name?
+    pub fn is_name(&self, kw: &str) -> bool {
+        matches!(self, Tok::Name(None, n) if n == kw)
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind.
+    pub tok: Tok,
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+/// The character-level scanner.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over a source string.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// The full source (used for error reporting and raw slices).
+    pub fn source(&self) -> &'a str {
+        self.src
+    }
+
+    /// Current byte position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reposition the scanner (used when the parser switches between
+    /// token mode and raw constructor mode).
+    pub fn set_pos(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Peek the current raw byte.
+    pub fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Raw remainder of the input.
+    pub fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    /// Advance `n` raw bytes.
+    pub fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XdmError {
+        let (line, col) = self.line_col(self.pos);
+        XdmError::new(
+            ErrorCode::XPST0003,
+            format!("lex error at {line}:{col}: {}", msg.into()),
+        )
+    }
+
+    /// 1-based line/column of a byte offset.
+    pub fn line_col(&self, pos: usize) -> (usize, usize) {
+        let upto = &self.src[..pos.min(self.src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.rfind('\n').map(|i| pos - i).unwrap_or(pos + 1);
+        (line, col)
+    }
+
+    /// Skip whitespace and (nested) comments.
+    pub fn skip_trivia(&mut self) -> XdmResult<()> {
+        loop {
+            match self.peek_byte() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'(') if self.bytes.get(self.pos + 1) == Some(&b':') => {
+                    self.skip_comment()?;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> XdmResult<()> {
+        debug_assert!(self.src[self.pos..].starts_with("(:"));
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1;
+        while depth > 0 {
+            if self.pos >= self.bytes.len() {
+                self.pos = start;
+                return Err(self.err("unterminated comment"));
+            }
+            if self.src[self.pos..].starts_with("(:") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos..].starts_with(":)") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                // Comments may contain arbitrary (multibyte) text:
+                // advance by whole characters, not bytes.
+                let c = self.src[self.pos..].chars().next().expect("in bounds");
+                self.pos += c.len_utf8();
+            }
+        }
+        Ok(())
+    }
+
+    fn read_ncname(&mut self) -> &'a str {
+        let start = self.pos;
+        while let Some(b) = self.peek_byte() {
+            if is_name_char(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+
+    fn read_string(&mut self, quote: u8) -> XdmResult<String> {
+        debug_assert_eq!(self.peek_byte(), Some(quote));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek_byte() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b) if b == quote => {
+                    // Doubled quote is an escape.
+                    if self.bytes.get(self.pos + 1) == Some(&quote) {
+                        out.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                }
+                Some(b'&') => {
+                    let semi = self.src[self.pos..]
+                        .find(';')
+                        .ok_or_else(|| self.err("unterminated entity reference"))?;
+                    let body = &self.src[self.pos + 1..self.pos + semi];
+                    let c = match body {
+                        "lt" => '<',
+                        "gt" => '>',
+                        "amp" => '&',
+                        "quot" => '"',
+                        "apos" => '\'',
+                        _ if body.starts_with("#x") || body.starts_with("#X") => {
+                            u32::from_str_radix(&body[2..], 16)
+                                .ok()
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.err("bad character reference"))?
+                        }
+                        _ if body.starts_with('#') => body[1..]
+                            .parse::<u32>()
+                            .ok()
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| self.err("bad character reference"))?,
+                        _ => return Err(self.err(format!("unknown entity &{body};"))),
+                    };
+                    out.push(c);
+                    self.pos += semi + 1;
+                }
+                Some(_) => {
+                    let c = self.src[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn read_number(&mut self) -> XdmResult<Tok> {
+        let start = self.pos;
+        while matches!(self.peek_byte(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_decimal = false;
+        if self.peek_byte() == Some(b'.') {
+            // Don't swallow `..` or `1.e` confusion: a dot followed by
+            // a digit (or end/non-name) is a decimal point; `1..2`
+            // must lex as 1 .. 2.
+            if self.bytes.get(self.pos + 1) != Some(&b'.') {
+                is_decimal = true;
+                self.pos += 1;
+                while matches!(self.peek_byte(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let mut is_double = false;
+        if matches!(self.peek_byte(), Some(b'e' | b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+' | b'-')) {
+                look += 1;
+            }
+            if matches!(self.bytes.get(look), Some(b) if b.is_ascii_digit()) {
+                is_double = true;
+                self.pos = look;
+                while matches!(self.peek_byte(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_double {
+            text.parse::<f64>()
+                .map(Tok::Dbl)
+                .map_err(|_| self.err(format!("bad double literal {text}")))
+        } else if is_decimal {
+            Ok(Tok::Dec(text.to_string()))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.err(format!("integer literal out of range: {text}")))
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> XdmResult<Token> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek_byte() else {
+            return Ok(Token { tok: Tok::Eof, start, end: start });
+        };
+        let tok = match b {
+            b'"' | b'\'' => Tok::Str(self.read_string(b)?),
+            b'0'..=b'9' => self.read_number()?,
+            b'.' => {
+                if matches!(self.bytes.get(self.pos + 1), Some(d) if d.is_ascii_digit()) {
+                    self.read_number()?
+                } else if self.bytes.get(self.pos + 1) == Some(&b'.') {
+                    self.pos += 2;
+                    Tok::DotDot
+                } else {
+                    self.pos += 1;
+                    Tok::Dot
+                }
+            }
+            b'$' => {
+                self.pos += 1;
+                if !matches!(self.peek_byte(), Some(c) if is_name_start(c)) {
+                    return Err(self.err("expected variable name after '$'"));
+                }
+                let first = self.read_ncname().to_string();
+                if self.peek_byte() == Some(b':')
+                    && matches!(self.bytes.get(self.pos + 1), Some(&c) if is_name_start(c))
+                {
+                    self.pos += 1;
+                    let local = self.read_ncname().to_string();
+                    Tok::Var(Some(first), local)
+                } else {
+                    Tok::Var(None, first)
+                }
+            }
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Tok::RBracket
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semi
+            }
+            b'@' => {
+                self.pos += 1;
+                Tok::At
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Pipe
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Minus
+            }
+            b'?' => {
+                self.pos += 1;
+                Tok::Question
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            b'!' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Ne
+                } else {
+                    return Err(self.err("unexpected '!'"));
+                }
+            }
+            b'<' => match self.bytes.get(self.pos + 1) {
+                Some(b'=') => {
+                    self.pos += 2;
+                    Tok::Le
+                }
+                Some(b'<') => {
+                    self.pos += 2;
+                    Tok::LtLt
+                }
+                _ => {
+                    self.pos += 1;
+                    Tok::Lt
+                }
+            },
+            b'>' => match self.bytes.get(self.pos + 1) {
+                Some(b'=') => {
+                    self.pos += 2;
+                    Tok::Ge
+                }
+                Some(b'>') => {
+                    self.pos += 2;
+                    Tok::GtGt
+                }
+                _ => {
+                    self.pos += 1;
+                    Tok::Gt
+                }
+            },
+            b'/' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'/') {
+                    self.pos += 2;
+                    Tok::SlashSlash
+                } else {
+                    self.pos += 1;
+                    Tok::Slash
+                }
+            }
+            b':' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::ColonEq
+                } else if self.bytes.get(self.pos + 1) == Some(&b':') {
+                    self.pos += 2;
+                    Tok::ColonColon
+                } else {
+                    return Err(self.err("unexpected ':'"));
+                }
+            }
+            b'*' => {
+                // `*:name`, `*:*`, or plain `*`.
+                if self.bytes.get(self.pos + 1) == Some(&b':') {
+                    match self.bytes.get(self.pos + 2) {
+                        Some(&b'*') => {
+                            self.pos += 3;
+                            Tok::FullWildcard
+                        }
+                        Some(&c) if is_name_start(c) => {
+                            self.pos += 2;
+                            let local = self.read_ncname().to_string();
+                            Tok::LocalWildcard(local)
+                        }
+                        _ => {
+                            self.pos += 1;
+                            Tok::Star
+                        }
+                    }
+                } else {
+                    self.pos += 1;
+                    Tok::Star
+                }
+            }
+            c if is_name_start(c) => {
+                let first = self.read_ncname().to_string();
+                if self.peek_byte() == Some(b':') {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(&c2) if is_name_start(c2) => {
+                            self.pos += 1;
+                            let local = self.read_ncname().to_string();
+                            Tok::Name(Some(first), local)
+                        }
+                        Some(&b'*') => {
+                            self.pos += 2;
+                            Tok::PrefixWildcard(first)
+                        }
+                        _ => Tok::Name(None, first),
+                    }
+                } else {
+                    Tok::Name(None, first)
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character {:?}", other as char)))
+            }
+        };
+        Ok(Token { tok, start, end: self.pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token().unwrap();
+            if t.tok == Tok::Eof {
+                return out;
+            }
+            out.push(t.tok);
+        }
+    }
+
+    #[test]
+    fn names_and_qnames() {
+        assert_eq!(
+            toks("for $x in cus:CUSTOMER"),
+            vec![
+                Tok::Name(None, "for".into()),
+                Tok::Var(None, "x".into()),
+                Tok::Name(None, "in".into()),
+                Tok::Name(Some("cus".into()), "CUSTOMER".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_vs_qname() {
+        assert_eq!(
+            toks("child::a"),
+            vec![
+                Tok::Name(None, "child".into()),
+                Tok::ColonColon,
+                Tok::Name(None, "a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(toks("*"), vec![Tok::Star]);
+        assert_eq!(toks("p:*"), vec![Tok::PrefixWildcard("p".into())]);
+        assert_eq!(toks("*:x"), vec![Tok::LocalWildcard("x".into())]);
+        assert_eq!(toks("*:*"), vec![Tok::FullWildcard]);
+        assert_eq!(toks("2 * 3"), vec![Tok::Int(2), Tok::Star, Tok::Int(3)]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("3.14"), vec![Tok::Dec("3.14".into())]);
+        assert_eq!(toks(".5"), vec![Tok::Dec(".5".into())]);
+        assert_eq!(toks("1e3"), vec![Tok::Dbl(1000.0)]);
+        assert_eq!(toks("1.5E-1"), vec![Tok::Dbl(0.15)]);
+        // `1 to 2` range over ints and the `..` trap.
+        assert_eq!(toks("1..2"), vec![Tok::Int(1), Tok::DotDot, Tok::Int(2)]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("\"a\"\"b\""), vec![Tok::Str("a\"b".into())]);
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+        assert_eq!(toks("\"x&amp;y\""), vec![Tok::Str("x&y".into())]);
+        assert_eq!(toks("\"&#65;\""), vec![Tok::Str("A".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a := b << c >> d <= e >= f != g"),
+            vec![
+                Tok::Name(None, "a".into()),
+                Tok::ColonEq,
+                Tok::Name(None, "b".into()),
+                Tok::LtLt,
+                Tok::Name(None, "c".into()),
+                Tok::GtGt,
+                Tok::Name(None, "d".into()),
+                Tok::Le,
+                Tok::Name(None, "e".into()),
+                Tok::Ge,
+                Tok::Name(None, "f".into()),
+                Tok::Ne,
+                Tok::Name(None, "g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_nest_and_skip() {
+        assert_eq!(
+            toks("1 (: outer (: inner :) still :) 2"),
+            vec![Tok::Int(1), Tok::Int(2)]
+        );
+        let mut lx = Lexer::new("(: unterminated");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn dots_and_slashes() {
+        assert_eq!(toks(". .. / //"), vec![Tok::Dot, Tok::DotDot, Tok::Slash, Tok::SlashSlash]);
+    }
+
+    #[test]
+    fn prefixed_variables() {
+        assert_eq!(
+            toks("$ns1:profile"),
+            vec![Tok::Var(Some("ns1".into()), "profile".into())]
+        );
+    }
+
+    #[test]
+    fn line_col_reporting() {
+        let lx = Lexer::new("ab\ncd\nef");
+        assert_eq!(lx.line_col(0), (1, 1));
+        assert_eq!(lx.line_col(4), (2, 2));
+        assert_eq!(lx.line_col(6), (3, 1));
+    }
+}
+
+#[cfg(test)]
+mod utf8_tests {
+    use super::*;
+
+    #[test]
+    fn multibyte_text_in_comments() {
+        let mut lx = Lexer::new("(: §III.B.7 — Hëllo :) 42");
+        let t = lx.next_token().unwrap();
+        assert_eq!(t.tok, Tok::Int(42));
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: the XQSE language in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xqse::Xqse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xqse = Xqse::new();
+
+    // 1. The paper's "Hello, World" (§III.B.7): a block query body
+    //    with a return statement.
+    let out = xqse.run(r#"{ return value "Hello, World"; }"#)?;
+    println!("1. {}", out.string_value()?);
+
+    // 2. Plain XQuery still works unchanged — XQSE "loosely wraps"
+    //    XQuery the way stored procedures wrap SQL.
+    let out = xqse.run("fn:sum(for $i in 1 to 100 return $i)")?;
+    println!("2. sum(1..100) = {}", out.string_value()?);
+
+    // 3. Block variables are assignable; `while` loops have statement
+    //    semantics (no value, effects via `set`).
+    let out = xqse.run(
+        r#"{
+             declare $x := 1, $steps := 0;
+             while ($x lt 1000) {
+               set $x := $x * 3;
+               set $steps := $steps + 1;
+             }
+             return value ($x, $steps);
+           }"#,
+    )?;
+    println!(
+        "3. first power of 3 over 1000: {} (after {} steps)",
+        out.items()[0],
+        out.items()[1]
+    );
+
+    // 4. Procedures: `declare procedure` for side-effecting logic,
+    //    `declare xqse function` (readonly) for procedures callable
+    //    from XQuery expressions.
+    let out = xqse.run(
+        r#"
+        declare namespace t = "urn:quickstart";
+        declare xqse function t:collatz-steps($n as xs:integer) as xs:integer
+        {
+          declare $x := $n, $steps := 0;
+          while ($x gt 1) {
+            if ($x mod 2 = 0) then set $x := $x idiv 2;
+            else set $x := 3 * $x + 1;
+            set $steps := $steps + 1;
+          }
+          return value $steps;
+        };
+        (: readonly, so it composes with FLWOR: :)
+        fn:max(for $n in 1 to 30 return t:collatz-steps($n))
+        "#,
+    )?;
+    println!("4. longest Collatz trajectory under 30: {} steps", out.string_value()?);
+
+    // 5. try/catch with error-code name tests and `into` variables.
+    let out = xqse.run(
+        r#"{
+             try {
+               fn:error(xs:QName("DEMO_FAILURE"), "synthetic failure");
+             } catch (DEMO_FAILURE into $code, $msg) {
+               return value fn:concat("caught ", fn:string($code), ": ", $msg);
+             } catch (*) {
+               return value "wrong handler";
+             }
+           }"#,
+    )?;
+    println!("5. {}", out.string_value()?);
+
+    // 6. Update statements: XQuery Update Facility expressions applied
+    //    with snapshot semantics at statement boundaries.
+    let out = xqse.run(
+        r#"{
+             declare $doc := <order status="OPEN"><item qty="2"/></order>;
+             replace value of node $doc/@status with "SHIPPED";
+             insert node <item qty="5"/> into $doc;
+             return value $doc;
+           }"#,
+    )?;
+    println!("6. {}", xmlparse::serialize_sequence(&out));
+
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the XQSE reproduction workspace.
+//!
+//! Re-exports the public surface of every subsystem so that examples and
+//! integration tests can use a single dependency. See the individual
+//! crates for documentation:
+//!
+//! - [`xdm`] — XQuery Data Model
+//! - [`xmlparse`] — XML parsing and serialization
+//! - [`xqparser`] — XQuery + XQSE parser
+//! - [`xqeval`] — XQuery expression evaluator and update facility
+//! - [`xqse`] — the XQSE statement execution engine (the paper's contribution)
+//! - [`aldsp`] — the AquaLogic Data Services Platform substrate
+
+pub use aldsp;
+pub use xdm;
+pub use xmlparse;
+pub use xqeval;
+pub use xqparser;
+pub use xqse;

@@ -1,0 +1,136 @@
+//! Randomized oracle test for update decomposition: apply random
+//! change sets through the full get→modify→submit pipeline and verify
+//! that the physical sources end up exactly as if the changes had been
+//! applied directly — across nesting levels and sources.
+
+use proptest::prelude::*;
+
+use xqse_repro::aldsp::demo;
+use xqse_repro::aldsp::rel::SqlValue;
+
+/// One randomly chosen mutation against a profile graph.
+#[derive(Debug, Clone)]
+enum Mutation {
+    LastName(usize, String),
+    FirstName(usize, String),
+    OrderStatus(usize, usize, String),
+    CardBrand(usize, usize, String),
+}
+
+fn mutation_strategy(customers: usize, orders: usize, cards: usize) -> impl Strategy<Value = Mutation> {
+    let c = 0..customers;
+    prop_oneof![
+        (c.clone(), "[A-Z][a-z]{1,6}").prop_map(|(i, s)| Mutation::LastName(i, s)),
+        (c.clone(), "[A-Z][a-z]{1,6}").prop_map(|(i, s)| Mutation::FirstName(i, s)),
+        (c.clone(), 0..orders, "[A-Z]{3,8}")
+            .prop_map(|(i, o, s)| Mutation::OrderStatus(i, o, s)),
+        (c, 0..cards, "[A-Z]{3,8}").prop_map(|(i, k, s)| Mutation::CardBrand(i, k, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decomposition_matches_direct_application(
+        mutations in proptest::collection::vec(mutation_strategy(4, 2, 2), 1..8)
+    ) {
+        const N: usize = 4;
+        const ORDERS: usize = 2;
+        const CARDS: usize = 2;
+        // Two identical worlds: one updated through the platform, one
+        // directly (the oracle).
+        let world = demo::build(N, ORDERS, CARDS).unwrap();
+        let oracle = demo::build(N, ORDERS, CARDS).unwrap();
+
+        let g = world.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+        // Deduplicate: the SDO records first-old-value, last-new-value,
+        // so later mutations of the same leaf win; apply the same rule
+        // to the oracle by replaying in order.
+        for m in &mutations {
+            match m {
+                Mutation::LastName(i, v) => {
+                    g.set_value(*i, &["LAST_NAME"], v).unwrap();
+                    oracle
+                        .db1
+                        .execute(vec![xqse_repro::aldsp::rel::WriteOp::Update {
+                            table: "CUSTOMER".into(),
+                            set: vec![("LAST_NAME".into(), SqlValue::Str(v.clone()))],
+                            cond: vec![("CID".into(), SqlValue::Int(*i as i64 + 1))],
+                            expect_rows: 1,
+                        }])
+                        .unwrap();
+                }
+                Mutation::FirstName(i, v) => {
+                    g.set_value(*i, &["FIRST_NAME"], v).unwrap();
+                    oracle
+                        .db1
+                        .execute(vec![xqse_repro::aldsp::rel::WriteOp::Update {
+                            table: "CUSTOMER".into(),
+                            set: vec![("FIRST_NAME".into(), SqlValue::Str(v.clone()))],
+                            cond: vec![("CID".into(), SqlValue::Int(*i as i64 + 1))],
+                            expect_rows: 1,
+                        }])
+                        .unwrap();
+                }
+                Mutation::OrderStatus(i, o, v) => {
+                    let oid = g
+                        .get_value(*i, &["Orders", &format!("ORDER#{o}"), "OID"])
+                        .unwrap();
+                    g.set_value(*i, &["Orders", &format!("ORDER#{o}"), "STATUS"], v)
+                        .unwrap();
+                    oracle
+                        .db1
+                        .execute(vec![xqse_repro::aldsp::rel::WriteOp::Update {
+                            table: "ORDER".into(),
+                            set: vec![("STATUS".into(), SqlValue::Str(v.clone()))],
+                            cond: vec![(
+                                "OID".into(),
+                                SqlValue::Int(oid.parse().unwrap()),
+                            )],
+                            expect_rows: 1,
+                        }])
+                        .unwrap();
+                }
+                Mutation::CardBrand(i, k, v) => {
+                    let ccid = g
+                        .get_value(*i, &["CreditCards", &format!("CREDIT_CARD#{k}"), "CCID"])
+                        .unwrap();
+                    g.set_value(
+                        *i,
+                        &["CreditCards", &format!("CREDIT_CARD#{k}"), "BRAND"],
+                        v,
+                    )
+                    .unwrap();
+                    oracle
+                        .db2
+                        .execute(vec![xqse_repro::aldsp::rel::WriteOp::Update {
+                            table: "CREDIT_CARD".into(),
+                            set: vec![("CC_BRAND".into(), SqlValue::Str(v.clone()))],
+                            cond: vec![(
+                                "CCID".into(),
+                                SqlValue::Int(ccid.parse().unwrap()),
+                            )],
+                            expect_rows: 1,
+                        }])
+                        .unwrap();
+                }
+            }
+        }
+        world.space.submit(&g).unwrap();
+
+        // The physical state of both worlds must now be identical.
+        for table in ["CUSTOMER", "ORDER"] {
+            prop_assert_eq!(
+                world.db1.scan(table).unwrap(),
+                oracle.db1.scan(table).unwrap(),
+                "db1.{} diverged", table
+            );
+        }
+        prop_assert_eq!(
+            world.db2.scan("CREDIT_CARD").unwrap(),
+            oracle.db2.scan("CREDIT_CARD").unwrap(),
+            "db2.CREDIT_CARD diverged"
+        );
+    }
+}

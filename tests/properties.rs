@@ -1,0 +1,403 @@
+//! Property-based tests (proptest) over the invariants DESIGN.md §7
+//! calls out: serializer∘parser identity, document order totality,
+//! decimal arithmetic laws, iterate/for agreement, while-loop closed
+//! forms, PUL behaviour, and 2PC atomicity.
+
+use proptest::prelude::*;
+
+use xqse_repro::aldsp::rel::{
+    Column, ColumnType, CrashPoint, Database, SqlValue, TableSchema,
+    TwoPhaseCoordinator, TxOutcome, WriteOp,
+};
+use xqse_repro::xdm::decimal::Decimal;
+use xqse_repro::xdm::node::{NodeHandle, NodeKind};
+use xqse_repro::xdm::qname::QName;
+use xqse_repro::xmlparse::{parse, serialize};
+use xqse_repro::xqse::Xqse;
+
+// ------------------------------------------------- XML tree generator
+
+/// A recursive tree model we can render to XML and compare.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<TreeNode> },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes XML-hostile characters that must round-trip via
+    // escaping; excludes raw control chars.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('<'),
+            Just('&'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            Just('é'),
+            Just(' '),
+            Just('{'),
+        ],
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeNode> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(TreeNode::Text),
+        name_strategy().prop_map(|n| TreeNode::Element {
+            name: n,
+            attrs: vec![],
+            children: vec![]
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                // Attribute names must be unique.
+                attrs.sort_by(|a, b| a.0.cmp(&b.0));
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                TreeNode::Element { name, attrs, children }
+            })
+    })
+}
+
+fn build_tree(t: &TreeNode, arena: &xqse_repro::xdm::node::SharedArena) -> NodeHandle {
+    match t {
+        TreeNode::Text(s) => NodeHandle::new_text(arena, s.clone()),
+        TreeNode::Element { name, attrs, children } => {
+            let e = NodeHandle::new_element(arena, QName::new(name.clone()));
+            for (an, av) in attrs {
+                e.set_attribute(&NodeHandle::new_attribute(
+                    arena,
+                    QName::new(an.clone()),
+                    av.clone(),
+                ))
+                .unwrap();
+            }
+            for c in children {
+                let cn = build_tree(c, arena);
+                e.append_child(&cn).unwrap();
+            }
+            e
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(serialize(t)) is structurally equal to t.
+    #[test]
+    fn xml_serialize_parse_round_trip(t in tree_strategy()) {
+        // Ensure a single element root.
+        let root = match t {
+            e @ TreeNode::Element { .. } => e,
+            other => TreeNode::Element {
+                name: "root".into(),
+                attrs: vec![],
+                children: vec![other],
+            },
+        };
+        let arena = xqse_repro::xdm::node::NodeArena::new();
+        let node = build_tree(&root, &arena);
+        let xml = serialize(&node);
+        let doc = parse(&xml).unwrap();
+        let back = doc
+            .children()
+            .into_iter()
+            .find(|c| c.kind() == NodeKind::Element)
+            .unwrap();
+        prop_assert!(node.deep_equal(&back), "{xml}");
+    }
+
+    /// Document order is a strict total order consistent over any pair
+    /// of nodes from the same tree.
+    #[test]
+    fn document_order_is_total_and_antisymmetric(t in tree_strategy()) {
+        let arena = xqse_repro::xdm::node::NodeArena::new();
+        let node = build_tree(&t, &arena);
+        let mut all = vec![node.clone()];
+        all.extend(node.descendants());
+        for a in &all {
+            for b in &all {
+                let ab = a.document_order(b);
+                let ba = b.document_order(a);
+                prop_assert_eq!(ab, ba.reverse());
+                prop_assert_eq!(ab == std::cmp::Ordering::Equal, a == b);
+            }
+        }
+        // Transitivity on the sorted sequence.
+        let mut sorted = all.clone();
+        sorted.sort_by(|x, y| x.document_order(y));
+        for w in sorted.windows(2) {
+            prop_assert_ne!(
+                w[0].document_order(&w[1]),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+
+    /// Decimal arithmetic: exactness and ring laws on bounded inputs.
+    #[test]
+    fn decimal_ring_laws(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1000i64..1000,
+        scale in 0u32..4,
+    ) {
+        let d = |m: i64| Decimal::from_parts(m as i128, scale);
+        let (da, db, dc) = (d(a), d(b), d(c));
+        // Commutativity and associativity of +.
+        prop_assert_eq!(
+            da.checked_add(db).unwrap(),
+            db.checked_add(da).unwrap()
+        );
+        prop_assert_eq!(
+            da.checked_add(db).unwrap().checked_add(dc).unwrap(),
+            da.checked_add(db.checked_add(dc).unwrap()).unwrap()
+        );
+        // Distributivity of * over +.
+        prop_assert_eq!(
+            dc.checked_mul(da.checked_add(db).unwrap()).unwrap(),
+            dc.checked_mul(da).unwrap().checked_add(dc.checked_mul(db).unwrap()).unwrap()
+        );
+        // Subtraction inverts addition.
+        prop_assert_eq!(
+            da.checked_add(db).unwrap().checked_sub(db).unwrap(),
+            da
+        );
+        // Parse/display round trip.
+        let s = da.to_string();
+        prop_assert_eq!(Decimal::parse(&s).unwrap(), da);
+    }
+
+    /// `iterate … over $s` with a pure accumulator body computes the
+    /// same result as the XQuery `for` expression.
+    #[test]
+    fn iterate_agrees_with_for(values in proptest::collection::vec(-100i64..100, 0..12)) {
+        let seq = values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let seq = if seq.is_empty() { "()".to_string() } else { format!("({seq})") };
+        let xqse = Xqse::new();
+        let imperative = xqse
+            .run(&format!(
+                "{{ declare $acc := (); \
+                   iterate $v over {seq} {{ set $acc := ($acc, $v * 2); }} \
+                   return value $acc; }}"
+            ))
+            .unwrap();
+        let declarative = xqse
+            .run(&format!("for $v in {seq} return $v * 2"))
+            .unwrap();
+        prop_assert_eq!(
+            imperative.atomized().iter().map(|a| a.string_value()).collect::<Vec<_>>(),
+            declarative.atomized().iter().map(|a| a.string_value()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The while-loop doubling program matches its closed form.
+    #[test]
+    fn while_loop_closed_form(start in 1i64..50, limit in 1i64..10_000) {
+        let xqse = Xqse::new();
+        let out = xqse
+            .run(&format!(
+                "{{ declare $x := {start}, $n := 0; \
+                   while ($x lt {limit}) {{ set $x := $x * 2; set $n := $n + 1; }} \
+                   return value $n; }}"
+            ))
+            .unwrap();
+        let got: i64 = out.string_value().unwrap().parse().unwrap();
+        // Closed form: smallest n with start * 2^n >= limit.
+        let mut expect = 0i64;
+        let mut x = start;
+        while x < limit {
+            x *= 2;
+            expect += 1;
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// OCC (UpdatedValues) never applies a lost update: when a
+    /// concurrent writer changes the same column between read and
+    /// submit, the submit must fail and the writer's value must
+    /// survive.
+    #[test]
+    fn occ_never_loses_updates(theirs in "[a-z]{1,8}", mine in "[A-Z]{1,8}") {
+        let d = xqse_repro::aldsp::demo::build(1, 0, 0).unwrap();
+        let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+        let original = g.get_value(0, &["LAST_NAME"]).unwrap();
+        g.set_value(0, &["LAST_NAME"], &mine).unwrap();
+        d.db1
+            .execute(vec![WriteOp::Update {
+                table: "CUSTOMER".into(),
+                set: vec![("LAST_NAME".into(), SqlValue::Str(theirs.clone()))],
+                cond: vec![("CID".into(), SqlValue::Int(1))],
+                expect_rows: 1,
+            }])
+            .unwrap();
+        let submit = d.space.submit(&g);
+        let now = d
+            .db1
+            .select("CUSTOMER", &vec![("CID".into(), SqlValue::Int(1))])
+            .unwrap()[0][2]
+            .lexical();
+        if theirs == original {
+            // The "concurrent" write was a no-op value-wise; ours wins.
+            prop_assert!(submit.is_ok());
+            prop_assert_eq!(now, mine);
+        } else {
+            prop_assert!(submit.is_err());
+            prop_assert_eq!(now, theirs);
+        }
+    }
+
+    /// 2PC atomicity holds for arbitrary op mixes and crash points.
+    #[test]
+    fn two_phase_commit_is_atomic(
+        crash_idx in 0usize..4,
+        key in 1i64..100,
+        poison in proptest::bool::ANY,
+    ) {
+        let crash = [
+            None,
+            Some(CrashPoint::AfterFirstPrepare),
+            Some(CrashPoint::AfterAllPrepares),
+            Some(CrashPoint::AfterFirstCommit),
+        ][crash_idx];
+        let mk = |name: &str| {
+            let db = Database::new(name);
+            db.create_table(TableSchema {
+                name: "T".into(),
+                columns: vec![Column::required("K", ColumnType::Integer)],
+                primary_key: vec!["K".into()],
+                foreign_keys: vec![],
+            })
+            .unwrap();
+            db
+        };
+        let a = mk("a");
+        let b = mk("b");
+        if poison {
+            // Make b's branch fail at prepare.
+            b.insert("T", vec![SqlValue::Int(key)]).unwrap();
+        }
+        let ins = |k| WriteOp::Insert { table: "T".into(), row: vec![SqlValue::Int(k)] };
+        let (outcome, _) = TwoPhaseCoordinator::new(vec![
+            (a.clone(), vec![ins(key)]),
+            (b.clone(), vec![ins(key)]),
+        ])
+        .run_with_crash(crash);
+        let a_has = !a.select("T", &vec![("K".into(), SqlValue::Int(key))]).unwrap().is_empty();
+        let b_count = b.select("T", &vec![("K".into(), SqlValue::Int(key))]).unwrap().len();
+        match outcome {
+            TxOutcome::Committed => {
+                prop_assert!(!poison);
+                prop_assert!(a_has);
+                prop_assert_eq!(b_count, 1);
+            }
+            TxOutcome::Aborted(_) => {
+                prop_assert!(!a_has, "aborted tx must leave no trace in a");
+                prop_assert_eq!(b_count, poison as usize, "only the poison row may exist");
+            }
+        }
+    }
+
+    /// Tokenize then string-join with the same separator restores any
+    /// separator-free-token string (fn library consistency).
+    #[test]
+    fn tokenize_join_inverse(tokens in proptest::collection::vec("[a-z]{1,5}", 1..6)) {
+        let joined = tokens.join(",");
+        let xqse = Xqse::new();
+        let out = xqse
+            .run(&format!(
+                "fn:string-join(fn:tokenize('{joined}', ','), ',')"
+            ))
+            .unwrap();
+        prop_assert_eq!(out.string_value().unwrap(), joined);
+    }
+
+    /// Arbitrary integer arithmetic agrees with Rust evaluation.
+    #[test]
+    fn arithmetic_oracle(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let xqse = Xqse::new();
+        let out = xqse.run(&format!("({a}) + ({b}) * 2 - ({a}) idiv 7")).unwrap();
+        let got: i64 = out.string_value().unwrap().parse().unwrap();
+        // XQuery idiv truncates toward zero, like Rust's /.
+        prop_assert_eq!(got, a + b * 2 - a / 7);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The XML parser never panics on arbitrary input — it either
+    /// parses or returns an error.
+    #[test]
+    fn xml_parser_never_panics(input in "\\PC{0,64}") {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary near-XML soup (angle brackets, braces, quotes).
+    #[test]
+    fn xml_parser_never_panics_on_markup_soup(
+        input in proptest::collection::vec(
+            prop_oneof![
+                Just("<"), Just(">"), Just("/"), Just("a"), Just("="),
+                Just("\""), Just("&"), Just(";"), Just("<a>"), Just("</a>"),
+                Just("<![CDATA["), Just("]]>"), Just("<!--"), Just("-->"),
+                Just("xmlns"), Just(":"), Just("é"),
+            ],
+            0..24,
+        )
+    ) {
+        let _ = parse(&input.concat());
+    }
+
+    /// The XQuery/XQSE parser never panics on arbitrary input.
+    #[test]
+    fn xq_parser_never_panics(input in "\\PC{0,64}") {
+        let _ = xqse_repro::xqparser::parse_module(&input);
+    }
+
+    /// Token soup built from real language fragments.
+    #[test]
+    fn xq_parser_never_panics_on_token_soup(
+        input in proptest::collection::vec(
+            prop_oneof![
+                Just("{"), Just("}"), Just("("), Just(")"), Just(";"),
+                Just("declare"), Just("$x"), Just(":="), Just("while"),
+                Just("iterate"), Just("over"), Just("return"), Just("value"),
+                Just("try"), Just("catch"), Just("<a>"), Just("</a>"),
+                Just("for"), Just("in"), Just("1"), Just("'s'"), Just("fn:data"),
+                Just("procedure"), Just("if"), Just("then"), Just("else"),
+                Just("(:"), Just(":)"), Just("§"), Just(".."), Just("@"),
+            ],
+            0..20,
+        )
+    ) {
+        let _ = xqse_repro::xqparser::parse_module(&input.join(" "));
+    }
+
+    /// The regex engine never panics on arbitrary patterns.
+    #[test]
+    fn regex_never_panics(pattern in "\\PC{0,24}", text in "\\PC{0,24}") {
+        if let Ok(rx) = xqse_repro::xqeval::regex_lite::Regex::compile(&pattern) {
+            let _ = rx.is_match(&text);
+            let _ = rx.tokenize(&text);
+        }
+    }
+}
