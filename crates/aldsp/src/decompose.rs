@@ -162,9 +162,12 @@ pub fn decompose_update(
     // Build one conditioned UPDATE per affected row.
     let mut plan = DecompositionPlan::default();
     for delta in rows {
-        let shape = lineage
-            .shape_for_element(&delta.shape_element)
-            .expect("shape known");
+        let shape = lineage.shape_for_element(&delta.shape_element).ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::DSP0002,
+                format!("lineage shape for element {} disappeared", delta.shape_element),
+            )
+        })?;
         plan.push(
             &delta.source,
             build_update(shape, &delta, graph, policy)?,
@@ -328,19 +331,32 @@ pub fn execute(space: &DataSpace, plan: DecompositionPlan) -> XdmResult<()> {
         })?;
         participants.push((db, ops));
     }
-    match participants.len() {
-        0 => Ok(()),
-        1 => {
-            let (db, ops) = participants.pop().expect("one");
-            db.execute(ops)
+    match participants.pop() {
+        None => Ok(()),
+        Some((db, ops)) if participants.is_empty() => db.execute(ops),
+        Some(last) => {
+            participants.push(last);
+            match TwoPhaseCoordinator::new(participants).run() {
+                TxOutcome::Committed => Ok(()),
+                // Infrastructure faults (aldsp:SRC_*, aldsp:TX_ABORTED)
+                // propagate with their typed code so an XQSE `catch
+                // (aldsp:SRC_UNAVAILABLE …)` can discriminate them;
+                // logical failures keep the seed's err:DSP0001 wrapper,
+                // with the OCC taxonomy name attached as a diagnostic.
+                TxOutcome::Aborted(err) => {
+                    if crate::errors::is_infrastructure(&err) {
+                        Err(err)
+                    } else {
+                        let diag = format!("caused by [{}]", err.code);
+                        Err(XdmError::new(
+                            ErrorCode::DSP0001,
+                            format!("distributed update aborted: {}", err.message),
+                        )
+                        .diagnostics(vec![diag]))
+                    }
+                }
+            }
         }
-        _ => match TwoPhaseCoordinator::new(participants).run() {
-            TxOutcome::Committed => Ok(()),
-            TxOutcome::Aborted(msg) => Err(XdmError::new(
-                ErrorCode::DSP0001,
-                format!("distributed update aborted: {msg}"),
-            )),
-        },
     }
 }
 

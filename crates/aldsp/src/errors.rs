@@ -1,0 +1,160 @@
+//! ALDSP error-code taxonomy for source faults and resilience.
+//!
+//! The XQSE paper (§III.D) sells `try`/`catch` with NameTest matching
+//! on error-code QNames as the way a data-service author discriminates
+//! failure classes ("the error names to catch can be given as a
+//! wildcard, a namespace-qualified wildcard, or an exact name").  The
+//! seed substrate only ever raised `err:DSP000x` codes; this module
+//! adds a dedicated `aldsp:` namespace of *infrastructure* failure
+//! codes so scripts can tell a transient network blip from a permanent
+//! outage from an OCC conflict and react differently (retry, route to
+//! a fallback source, or compensate).
+//!
+//! A script binds the prefix once and then catches precisely:
+//!
+//! ```xquery
+//! declare namespace aldsp = "urn:aldsp:errors";
+//! try { dsDB2:createCUSTOMER($c) }
+//! catch (aldsp:SRC_UNAVAILABLE into $err, $msg) { (: compensate :) }
+//! ```
+//!
+//! See `docs/ERRORS.md` for the full catalogue and retry semantics.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use xdm::error::XdmError;
+use xdm::qname::QName;
+
+/// Namespace URI for ALDSP infrastructure error codes.
+///
+/// Distinct from the W3C `err:` namespace so catch clauses can use a
+/// namespace-qualified wildcard (`aldsp:*`) to mean "any
+/// infrastructure fault" without also swallowing type errors.
+pub const ALDSP_ERR_NS: &str = "urn:aldsp:errors";
+
+/// The infrastructure failure classes raised by fault-injected or
+/// genuinely failing sources and by the resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AldspCode {
+    /// A transient source fault (network blip, deadlock victim, …).
+    /// Retryable: the resilience layer retries these with backoff.
+    SrcTransient,
+    /// A call exceeded its timeout budget (injected `Timeout`, or a
+    /// `SlowResponse` whose simulated latency overran the policy
+    /// timeout). Retryable.
+    SrcTimeout,
+    /// The source is down: a permanent fault, or the circuit breaker
+    /// for the source is open and calls fail fast. Not retryable.
+    SrcUnavailable,
+    /// The request itself was malformed (e.g. a web-service call
+    /// missing required message parts). Never retried — retrying a bad
+    /// request cannot help.
+    SrcBadRequest,
+    /// A distributed (2PC) transaction aborted and was rolled back.
+    TxAborted,
+    /// Optimistic-concurrency "sameness" check failed at update time.
+    OccConflict,
+}
+
+impl AldspCode {
+    /// The local part of the code QName.
+    pub fn local(&self) -> &'static str {
+        match self {
+            AldspCode::SrcTransient => "SRC_TRANSIENT",
+            AldspCode::SrcTimeout => "SRC_TIMEOUT",
+            AldspCode::SrcUnavailable => "SRC_UNAVAILABLE",
+            AldspCode::SrcBadRequest => "SRC_BAD_REQUEST",
+            AldspCode::TxAborted => "TX_ABORTED",
+            AldspCode::OccConflict => "OCC_CONFLICT",
+        }
+    }
+
+    /// The code as a QName in [`ALDSP_ERR_NS`].
+    pub fn qname(&self) -> QName {
+        QName::with_ns(ALDSP_ERR_NS, self.local())
+    }
+
+    /// Build an [`XdmError`] with this code.
+    pub fn error(&self, message: impl Into<String>) -> XdmError {
+        XdmError::with_code(self.qname(), message)
+    }
+
+    /// True when the resilience layer may retry a failure with this
+    /// code (transients and timeouts; never bad requests, outages, or
+    /// logical conflicts).
+    pub fn retryable(&self) -> bool {
+        matches!(self, AldspCode::SrcTransient | AldspCode::SrcTimeout)
+    }
+
+    /// Classify an arbitrary error: `Some(code)` if it carries one of
+    /// the taxonomy QNames, else `None` (a logical/source-level error
+    /// such as `err:DSP0003`).
+    pub fn of(err: &XdmError) -> Option<AldspCode> {
+        if err.code.ns.as_deref() != Some(ALDSP_ERR_NS) {
+            return None;
+        }
+        match err.code.local.as_str() {
+            "SRC_TRANSIENT" => Some(AldspCode::SrcTransient),
+            "SRC_TIMEOUT" => Some(AldspCode::SrcTimeout),
+            "SRC_UNAVAILABLE" => Some(AldspCode::SrcUnavailable),
+            "SRC_BAD_REQUEST" => Some(AldspCode::SrcBadRequest),
+            "TX_ABORTED" => Some(AldspCode::TxAborted),
+            "OCC_CONFLICT" => Some(AldspCode::OccConflict),
+        _ => None,
+        }
+    }
+}
+
+/// True when `err` is an infrastructure fault the resilience layer is
+/// allowed to retry.
+pub fn is_retryable(err: &XdmError) -> bool {
+    AldspCode::of(err).is_some_and(|c| c.retryable())
+}
+
+/// True when `err` carries *any* code in the ALDSP error namespace.
+pub fn is_infrastructure(err: &XdmError) -> bool {
+    err.code.ns.as_deref() == Some(ALDSP_ERR_NS)
+}
+
+#[cfg(test)]
+mod taxonomy_tests {
+    use super::*;
+    use xdm::error::ErrorCode;
+
+    #[test]
+    fn qnames_live_in_the_aldsp_namespace() {
+        for code in [
+            AldspCode::SrcTransient,
+            AldspCode::SrcTimeout,
+            AldspCode::SrcUnavailable,
+            AldspCode::SrcBadRequest,
+            AldspCode::TxAborted,
+            AldspCode::OccConflict,
+        ] {
+            let q = code.qname();
+            assert_eq!(q.ns.as_deref(), Some(ALDSP_ERR_NS));
+            assert_eq!(q.local, code.local());
+            // Round trip through an XdmError.
+            let e = code.error("x");
+            assert_eq!(AldspCode::of(&e), Some(code));
+        }
+    }
+
+    #[test]
+    fn retryability_partition() {
+        assert!(AldspCode::SrcTransient.retryable());
+        assert!(AldspCode::SrcTimeout.retryable());
+        assert!(!AldspCode::SrcUnavailable.retryable());
+        assert!(!AldspCode::SrcBadRequest.retryable());
+        assert!(!AldspCode::TxAborted.retryable());
+        assert!(!AldspCode::OccConflict.retryable());
+    }
+
+    #[test]
+    fn w3c_codes_are_not_infrastructure() {
+        let e = XdmError::new(ErrorCode::DSP0003, "pk violation");
+        assert_eq!(AldspCode::of(&e), None);
+        assert!(!is_infrastructure(&e));
+        assert!(!is_retryable(&e));
+    }
+}

@@ -1,0 +1,350 @@
+//! Deterministic fault injection for ALDSP sources.
+//!
+//! Real ALDSP deployments sit in front of flaky infrastructure:
+//! relational sources drop connections, web services time out, and
+//! distributed transactions abort mid-flight.  The paper's motivation
+//! for XQSE's `try`/`catch` (§III.D) and compensation patterns (Use
+//! Case 4's replicating create) is exactly these failures — but the
+//! seed substrate could only ever succeed, so none of those paths were
+//! exercisable.
+//!
+//! This module adds a **seedable, deterministic** [`FaultInjector`]
+//! that sources consult before touching their backing state.  A
+//! [`FaultPlan`] is an ordered list of [`FaultRule`]s keyed by source
+//! name and operation; the first matching rule with remaining budget
+//! fires.  Determinism is the point: a chaos test writes a plan,
+//! replays it, and asserts *exact* outcomes — no real sleeps, no wall
+//! clocks, no flaky tests.  Simulated latency is expressed through the
+//! virtual clock in [`crate::resilience`].
+//!
+//! Probabilistic rules are supported for soak-style tests via a
+//! seeded splitmix64 RNG: the same seed always yields the same fault
+//! sequence.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::fmt;
+
+use xdm::error::XdmError;
+
+use crate::errors::AldspCode;
+
+/// The operations a fault rule can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Full-table scan on a relational source.
+    Scan,
+    /// Keyed select on a relational source.
+    Select,
+    /// Auto-commit write batch on a relational source.
+    Execute,
+    /// XA phase-1 prepare on a relational source.
+    Prepare,
+    /// Web-service operation invocation.
+    Call,
+    /// Data-space read (`DataSpace::get`).
+    Get,
+    /// Data-space update submission (`submit` / `default_submit`).
+    Submit,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Scan => "scan",
+            Op::Select => "select",
+            Op::Execute => "execute",
+            Op::Prepare => "prepare",
+            Op::Call => "call",
+            Op::Get => "get",
+            Op::Submit => "submit",
+        })
+    }
+}
+
+/// What a matching rule does to the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Raise `aldsp:SRC_TRANSIENT` (retryable) on every firing.
+    Transient,
+    /// Raise `aldsp:SRC_UNAVAILABLE` (not retryable) on every firing.
+    Permanent,
+    /// Raise `aldsp:SRC_TIMEOUT` (retryable) on every firing.
+    Timeout,
+    /// Succeed, but take the given number of virtual milliseconds.
+    /// Under a resilience policy the delay is checked against the call
+    /// timeout and may surface as `aldsp:SRC_TIMEOUT`.
+    SlowResponse(u64),
+    /// Raise `aldsp:SRC_TRANSIENT` for the first `k` firings, then
+    /// stop matching (the canonical "transient blip" rule).
+    FailNTimes(u32),
+}
+
+/// One entry in a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Source name to match; `"*"` matches every source.
+    pub source: String,
+    /// Operation to match; `None` matches every operation.
+    pub op: Option<Op>,
+    /// What happens when the rule fires.
+    pub kind: FaultKind,
+    /// Remaining firing budget. `FailNTimes(k)` starts at `k`; other
+    /// kinds default to unlimited unless capped with
+    /// [`FaultRule::times`].
+    budget: u32,
+    /// Firing probability in `[0,1]`; `1.0` (always) by default.
+    /// Evaluated with the plan's seeded RNG, so runs are reproducible.
+    probability: f64,
+}
+
+impl FaultRule {
+    /// A rule for `source`/`op` with the given kind and default budget.
+    pub fn new(source: impl Into<String>, op: Op, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            source: source.into(),
+            op: Some(op),
+            kind,
+            budget: match kind {
+                FaultKind::FailNTimes(k) => k,
+                _ => u32::MAX,
+            },
+            probability: 1.0,
+        }
+    }
+
+    /// A rule matching *every* operation on `source`.
+    pub fn any_op(source: impl Into<String>, kind: FaultKind) -> FaultRule {
+        let mut r = FaultRule::new(source, Op::Scan, kind);
+        r.op = None;
+        r
+    }
+
+    /// Cap how many times this rule may fire.
+    pub fn times(mut self, n: u32) -> FaultRule {
+        self.budget = n;
+        self
+    }
+
+    /// Fire only with the given probability (seeded, reproducible).
+    pub fn with_probability(mut self, p: f64) -> FaultRule {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    fn matches(&self, source: &str, op: Op) -> bool {
+        (self.source == "*" || self.source == source)
+            && self.op.is_none_or(|o| o == op)
+            && self.budget > 0
+    }
+}
+
+/// An ordered collection of fault rules plus the RNG seed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with an explicit RNG seed for probabilistic rules.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { rules: Vec::new(), seed }
+    }
+
+    /// Append a rule (builder style).
+    pub fn rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules in the plan.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// The injector's verdict for one call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Injected {
+    /// Fail the call with this error before it reaches the source.
+    Error(XdmError),
+    /// Let the call proceed, but charge this many virtual
+    /// milliseconds of latency first.
+    Delay(u64),
+}
+
+/// A record of one injected fault, for assertions and reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// The source the faulted call targeted.
+    pub source: String,
+    /// The operation that was intercepted.
+    pub op: Op,
+    /// What was injected.
+    pub injected: Injected,
+}
+
+/// Deterministic fault injector: consult [`FaultInjector::on_call`]
+/// before performing a source operation.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    rules: Vec<FaultRule>,
+    rng: u64,
+    log: Vec<FaultEvent>,
+}
+
+/// splitmix64 step — tiny, seedable, good enough for fault dice.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Build an injector from a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            rules: plan.rules,
+            rng: plan.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Decide the fate of one call against `source`/`op`.
+    ///
+    /// Scans rules in plan order; the first match with remaining
+    /// budget (and a winning probability roll) fires and has its
+    /// budget decremented. Returns `None` when the call should proceed
+    /// unmolested.
+    pub fn on_call(&mut self, source: &str, op: Op) -> Option<Injected> {
+        for rule in self.rules.iter_mut() {
+            if !rule.matches(source, op) {
+                continue;
+            }
+            if rule.probability < 1.0 {
+                let roll = (splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                if roll >= rule.probability {
+                    continue;
+                }
+            }
+            rule.budget = rule.budget.saturating_sub(1);
+            let injected = match rule.kind {
+                FaultKind::Transient | FaultKind::FailNTimes(_) => Injected::Error(
+                    AldspCode::SrcTransient
+                        .error(format!("injected transient fault on {source}/{op}")),
+                ),
+                FaultKind::Permanent => Injected::Error(
+                    AldspCode::SrcUnavailable
+                        .error(format!("injected permanent fault on {source}/{op}")),
+                ),
+                FaultKind::Timeout => Injected::Error(
+                    AldspCode::SrcTimeout.error(format!("injected timeout on {source}/{op}")),
+                ),
+                FaultKind::SlowResponse(ms) => Injected::Delay(ms),
+            };
+            self.log.push(FaultEvent {
+                source: source.to_string(),
+                op,
+                injected: injected.clone(),
+            });
+            return Some(injected);
+        }
+        None
+    }
+
+    /// Every fault injected so far, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected_count(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn fail_n_times_exhausts_its_budget() {
+        let plan = FaultPlan::new().rule(FaultRule::new(
+            "DB1",
+            Op::Prepare,
+            FaultKind::FailNTimes(2),
+        ));
+        let mut inj = FaultInjector::new(plan);
+        assert!(matches!(inj.on_call("DB1", Op::Prepare), Some(Injected::Error(_))));
+        assert!(matches!(inj.on_call("DB1", Op::Prepare), Some(Injected::Error(_))));
+        assert_eq!(inj.on_call("DB1", Op::Prepare), None);
+        // Other sources/ops never matched.
+        assert_eq!(inj.on_call("DB2", Op::Prepare), None);
+        assert_eq!(inj.injected_count(), 2);
+    }
+
+    #[test]
+    fn wildcard_and_any_op_rules_match_broadly() {
+        let plan = FaultPlan::new().rule(FaultRule::any_op("*", FaultKind::Permanent).times(3));
+        let mut inj = FaultInjector::new(plan);
+        for (s, op) in [("A", Op::Scan), ("B", Op::Call), ("C", Op::Submit)] {
+            match inj.on_call(s, op) {
+                Some(Injected::Error(e)) => {
+                    assert_eq!(AldspCode::of(&e), Some(AldspCode::SrcUnavailable))
+                }
+                other => panic!("expected permanent fault, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.on_call("D", Op::Get), None);
+    }
+
+    #[test]
+    fn slow_response_is_a_delay_not_an_error() {
+        let plan =
+            FaultPlan::new().rule(FaultRule::new("WS", Op::Call, FaultKind::SlowResponse(250)));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_call("WS", Op::Call), Some(Injected::Delay(250)));
+    }
+
+    #[test]
+    fn probabilistic_rules_are_deterministic_per_seed() {
+        let mk = |seed| {
+            let plan = FaultPlan::seeded(seed).rule(
+                FaultRule::new("DB", Op::Scan, FaultKind::Transient).with_probability(0.5),
+            );
+            let mut inj = FaultInjector::new(plan);
+            (0..32).map(|_| inj.on_call("DB", Op::Scan).is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7), "same seed, same fault sequence");
+        assert_ne!(mk(7), mk(8), "different seeds diverge");
+        assert!(mk(7).iter().any(|&b| b) && mk(7).iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn timeout_kind_carries_the_timeout_code() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new("WS", Op::Call, FaultKind::Timeout).times(1));
+        let mut inj = FaultInjector::new(plan);
+        match inj.on_call("WS", Op::Call) {
+            Some(Injected::Error(e)) => {
+                assert_eq!(AldspCode::of(&e), Some(AldspCode::SrcTimeout))
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(inj.on_call("WS", Op::Call), None, "budget of 1 respected");
+    }
+}

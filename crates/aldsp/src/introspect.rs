@@ -53,7 +53,7 @@ pub fn introspect_relational(
         // shape the paper's use cases call (ens1:getByEmployeeID).
         if schema.primary_key.len() == 1 {
             let pk = schema.primary_key[0].clone();
-            register_read_by_key(engine, db, &schema, &ns, &pk);
+            register_read_by_key(engine, db, &schema, &ns, &pk)?;
             methods.push(Method {
                 name: format!("getBy{pk}"),
                 kind: MethodKind::Read,
@@ -135,13 +135,21 @@ fn register_read_by_key(
     schema: &TableSchema,
     ns: &str,
     pk: &str,
-) {
+) -> XdmResult<()> {
     let db = db.clone();
     let schema = schema.clone();
     let ns = ns.to_string();
     let table = schema.name.clone();
     let pk = pk.to_string();
-    let pk_ty = schema.column(&pk).expect("pk exists").ty;
+    let pk_ty = schema
+        .column(&pk)
+        .ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::DSP0003,
+                format!("primary key column {pk} missing from table {table}"),
+            )
+        })?
+        .ty;
     engine.register_external_function(
         QName::with_ns(ns.clone(), format!("getBy{pk}")),
         1,
@@ -155,6 +163,7 @@ fn register_read_by_key(
             Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
         }),
     );
+    Ok(())
 }
 
 fn register_cud(engine: &Engine, db: &Database, schema: &TableSchema, ns: &str) {
@@ -177,7 +186,12 @@ fn register_cud(engine: &Engine, db: &Database, schema: &TableSchema, ns: &str) 
                 let key = NodeHandle::root_element(QName::new(format!("{table}_KEY")));
                 let arena = key.arena().clone();
                 for pk in &schema.primary_key {
-                    let i = schema.col_index(pk).expect("pk exists");
+                    let i = schema.col_index(pk).ok_or_else(|| {
+                        XdmError::new(
+                            ErrorCode::DSP0003,
+                            format!("primary key column {pk} missing from table {table}"),
+                        )
+                    })?;
                     let c = NodeHandle::new_element(&arena, QName::new(pk.clone()));
                     c.append_child(&NodeHandle::new_text(&arena, row[i].lexical()))?;
                     key.append_child(&c)?;

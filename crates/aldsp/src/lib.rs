@@ -32,9 +32,12 @@
 pub mod ddl;
 pub mod decompose;
 pub mod demo;
+pub mod errors;
+pub mod fault;
 pub mod introspect;
 pub mod lineage;
 pub mod rel;
+pub mod resilience;
 pub mod sdo;
 pub mod service;
 pub mod ws;
@@ -42,7 +45,12 @@ pub mod wsdl;
 pub mod xmlmap;
 
 pub use decompose::{OccPolicy, UpdateOverride};
+pub use errors::{AldspCode, ALDSP_ERR_NS};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, Injected, Op};
 pub use rel::{Column, ColumnType, Database, ForeignKey, SqlValue, TableSchema};
+pub use resilience::{
+    Access, BreakerState, BreakerTransition, Policy, Resilience, ResilienceStats, VirtualClock,
+};
 pub use sdo::DataGraph;
 pub use service::{DataService, DataSpace, MethodKind, ServiceKind};
 pub use ws::WebService;

@@ -24,6 +24,9 @@ use xdm::datetime::{Date, DateTime};
 use xdm::decimal::Decimal;
 use xdm::error::{ErrorCode, XdmError, XdmResult};
 
+use crate::fault::Op;
+use crate::resilience::Access;
+
 /// Column data types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnType {
@@ -289,16 +292,28 @@ struct DbInner {
     prepared: HashMap<TxId, Prepared>,
     commits: u64,
     aborts: u64,
+    /// Last successfully read snapshot per table, served as a
+    /// marked-stale result when the source is unavailable and the
+    /// resilience policy allows degraded reads.
+    read_cache: HashMap<String, Vec<Row>>,
 }
 
 /// An in-memory relational database (one "source" in ALDSP terms).
 ///
 /// Cloning shares the same underlying store (`Arc`).
+///
+/// Every externally visible operation is routed through the source's
+/// [`Access`] handle (fault injection + retry/timeout/circuit
+/// breaker); with no injector or policy installed the handle is a
+/// pass-through. `commit`/`rollback` are deliberately *not* injectable
+/// — once a branch votes yes in phase 1, phase 2 cannot fail (the XA
+/// contract this simulator upholds).
 #[derive(Debug, Clone)]
 pub struct Database {
     /// The source name (e.g. `db1`).
     pub name: String,
     inner: Arc<Mutex<DbInner>>,
+    access: Arc<Mutex<Access>>,
 }
 
 fn cerr(msg: impl Into<String>) -> XdmError {
@@ -308,7 +323,22 @@ fn cerr(msg: impl Into<String>) -> XdmError {
 impl Database {
     /// Create an empty database.
     pub fn new(name: &str) -> Database {
-        Database { name: name.to_string(), inner: Arc::new(Mutex::new(DbInner::default())) }
+        Database {
+            name: name.to_string(),
+            inner: Arc::new(Mutex::new(DbInner::default())),
+            access: Arc::new(Mutex::new(Access::none())),
+        }
+    }
+
+    /// Install (or replace) the fault-injection / resilience handle
+    /// for this source. Shared across clones.
+    pub fn set_access(&self, access: Access) {
+        *self.access.lock() = access;
+    }
+
+    /// A snapshot of this source's access handle.
+    pub fn access(&self) -> Access {
+        self.access.lock().clone()
     }
 
     /// Create a table.
@@ -346,28 +376,67 @@ impl Database {
     }
 
     /// All rows of a table (committed state).
+    ///
+    /// Routed through the source's [`Access`] handle as a degradable
+    /// read: if the source is unavailable (injected outage or open
+    /// breaker) the last successfully read snapshot is served instead,
+    /// counted in [`crate::ResilienceStats::stale_reads`].
     pub fn scan(&self, table: &str) -> XdmResult<Vec<Row>> {
-        let inner = self.inner.lock();
+        let access = self.access();
+        access.run_read(
+            &self.name,
+            Op::Scan,
+            || self.scan_raw(table),
+            || self.cached_rows(table),
+        )
+    }
+
+    fn scan_raw(&self, table: &str) -> XdmResult<Vec<Row>> {
+        let mut inner = self.inner.lock();
         let t = inner
             .tables
             .get(table)
             .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
-        Ok(t.rows.iter().map(|(_, r)| r.clone()).collect())
+        let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
+        inner.read_cache.insert(table.to_string(), rows.clone());
+        Ok(rows)
     }
 
-    /// Rows matching an equality condition.
+    fn cached_rows(&self, table: &str) -> Option<Vec<Row>> {
+        self.inner.lock().read_cache.get(table).cloned()
+    }
+
+    /// Rows matching an equality condition (degradable read, like
+    /// [`Database::scan`]).
     pub fn select(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
-        let inner = self.inner.lock();
+        let access = self.access();
+        access.run_read(
+            &self.name,
+            Op::Select,
+            || self.select_raw(table, cond),
+            || self.cached_select(table, cond),
+        )
+    }
+
+    fn select_raw(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
+        let mut inner = self.inner.lock();
         let t = inner
             .tables
             .get(table)
             .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
         let idx = cond_indices(&t.schema, cond)?;
-        Ok(t.rows
-            .iter()
-            .filter(|(_, r)| row_matches(r, &idx))
-            .map(|(_, r)| r.clone())
-            .collect())
+        let all: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
+        let hits = all.iter().filter(|r| row_matches(r, &idx)).cloned().collect();
+        inner.read_cache.insert(table.to_string(), all);
+        Ok(hits)
+    }
+
+    fn cached_select(&self, table: &str, cond: &Condition) -> Option<Vec<Row>> {
+        let inner = self.inner.lock();
+        let t = inner.tables.get(table)?;
+        let idx = cond_indices(&t.schema, cond).ok()?;
+        let cached = inner.read_cache.get(table)?;
+        Some(cached.iter().filter(|r| row_matches(r, &idx)).cloned().collect())
     }
 
     /// Number of rows.
@@ -382,11 +451,18 @@ impl Database {
 
     /// Auto-commit convenience: run a batch of ops as a local
     /// transaction (prepare + commit immediately).
+    ///
+    /// Fault-injectable as one unit (`Op::Execute`): a retried
+    /// transient fails *before* the prepare, so a retry can never
+    /// double-apply the batch.
     pub fn execute(&self, ops: Vec<WriteOp>) -> XdmResult<()> {
-        let tx = fresh_tx();
-        self.prepare(tx, ops)?;
-        self.commit(tx);
-        Ok(())
+        let access = self.access();
+        access.run(&self.name, Op::Execute, || {
+            let tx = fresh_tx();
+            self.prepare_raw(tx, ops.clone())?;
+            self.commit(tx);
+            Ok(())
+        })
     }
 
     /// Insert a single row, auto-commit.
@@ -399,6 +475,11 @@ impl Database {
     /// the touched rows. On success the transaction is durable-ready;
     /// on failure nothing is changed.
     pub fn prepare(&self, tx: TxId, ops: Vec<WriteOp>) -> XdmResult<()> {
+        let access = self.access();
+        access.run(&self.name, Op::Prepare, || self.prepare_raw(tx, ops.clone()))
+    }
+
+    fn prepare_raw(&self, tx: TxId, ops: Vec<WriteOp>) -> XdmResult<()> {
         let mut inner = self.inner.lock();
         if inner.prepared.contains_key(&tx) {
             return Err(cerr(format!("transaction {tx:?} already prepared")));
@@ -665,12 +746,15 @@ pub enum CrashPoint {
 }
 
 /// Outcome of a coordinated transaction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TxOutcome {
     /// All participants committed.
     Committed,
-    /// All participants rolled back.
-    Aborted(String),
+    /// All participants rolled back. Carries the typed error that
+    /// caused the abort so callers (and ultimately XQSE `catch`
+    /// clauses) can discriminate an infrastructure outage from an OCC
+    /// conflict from a constraint violation.
+    Aborted(XdmError),
 }
 
 /// A two-phase-commit coordinator over multiple [`Database`]
@@ -706,7 +790,7 @@ impl TwoPhaseCoordinator {
                     for p in &prepared {
                         p.rollback(tx);
                     }
-                    return (TxOutcome::Aborted(e.message), crashed);
+                    return (TxOutcome::Aborted(e), crashed);
                 }
             }
             if crash == Some(CrashPoint::AfterFirstPrepare) && i == 0 {
@@ -719,7 +803,10 @@ impl TwoPhaseCoordinator {
                 // The remaining participants never prepared; nothing
                 // to do for them.
                 return (
-                    TxOutcome::Aborted("coordinator crash before decision".into()),
+                    TxOutcome::Aborted(
+                        crate::errors::AldspCode::TxAborted
+                            .error("coordinator crash before decision"),
+                    ),
                     crashed,
                 );
             }
@@ -731,7 +818,10 @@ impl TwoPhaseCoordinator {
                 p.rollback(tx);
             }
             return (
-                TxOutcome::Aborted("coordinator crash before decision".into()),
+                TxOutcome::Aborted(
+                    crate::errors::AldspCode::TxAborted
+                        .error("coordinator crash before decision"),
+                ),
                 crashed,
             );
         }

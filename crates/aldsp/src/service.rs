@@ -18,10 +18,16 @@ use xdm::sequence::Sequence;
 use xqeval::context::Env;
 use xqse::Xqse;
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 use crate::decompose::{self, OccPolicy, UpdateOverride};
+use crate::fault::{FaultInjector, Op};
 use crate::introspect;
 use crate::lineage::Lineage;
 use crate::rel::Database;
+use crate::resilience::{Access, Resilience};
 use crate::sdo::DataGraph;
 use crate::ws::WebService;
 
@@ -143,6 +149,9 @@ pub struct DataSpace {
     /// Rendered SQL of the last default-update decomposition
     /// (observability for tests/benches/EXPERIMENTS.md).
     pub last_decomposition: RefCell<Vec<String>>,
+    /// The dataspace-wide fault-injection / resilience handle, shared
+    /// with every registered source (present and future).
+    access: RefCell<Access>,
 }
 
 impl Default for DataSpace {
@@ -161,6 +170,45 @@ impl DataSpace {
             web_services: RefCell::new(HashMap::new()),
             logical: RefCell::new(HashMap::new()),
             last_decomposition: RefCell::new(Vec::new()),
+            access: RefCell::new(Access::none()),
+        }
+    }
+
+    /// Install a fault injector across the dataspace: every already
+    /// registered source and every source registered later consults it
+    /// before each operation. Returns the shared handle so tests can
+    /// inspect the injection log.
+    pub fn install_fault_injector(
+        &self,
+        injector: FaultInjector,
+    ) -> Arc<Mutex<FaultInjector>> {
+        let handle = Arc::new(Mutex::new(injector));
+        self.access.borrow_mut().injector = Some(handle.clone());
+        self.propagate_access();
+        handle
+    }
+
+    /// Install a resilience policy (retry/timeout/circuit breaker)
+    /// across the dataspace, mirroring [`DataSpace::install_fault_injector`].
+    pub fn install_resilience(&self, resilience: Resilience) -> Arc<Mutex<Resilience>> {
+        let handle = Arc::new(Mutex::new(resilience));
+        self.access.borrow_mut().resilience = Some(handle.clone());
+        self.propagate_access();
+        handle
+    }
+
+    /// The dataspace's current access handle.
+    pub fn access(&self) -> Access {
+        self.access.borrow().clone()
+    }
+
+    fn propagate_access(&self) {
+        let access = self.access.borrow().clone();
+        for db in self.databases.borrow().values() {
+            db.set_access(access.clone());
+        }
+        for ws in self.web_services.borrow().values() {
+            ws.set_access(access.clone());
         }
     }
 
@@ -179,6 +227,7 @@ impl DataSpace {
     pub fn register_relational_source(&self, db: &Database) -> XdmResult<Vec<String>> {
         let services = introspect::introspect_relational(self.engine(), db)?;
         let mut names = Vec::new();
+        db.set_access(self.access.borrow().clone());
         self.databases.borrow_mut().insert(db.name.clone(), db.clone());
         for s in services {
             names.push(s.name.clone());
@@ -193,6 +242,7 @@ impl DataSpace {
         let ws = Rc::new(ws);
         let svc = introspect::introspect_web_service(self.engine(), &ws)?;
         let name = svc.name.clone();
+        ws.set_access(self.access.borrow().clone());
         self.web_services.borrow_mut().insert(ws.name.clone(), ws);
         self.services.borrow_mut().insert(name.clone(), svc);
         Ok(name)
@@ -331,9 +381,11 @@ impl DataSpace {
             XdmError::new(ErrorCode::DSP0005, format!("no data service {service}"))
         })?;
         let name = QName::with_ns(svc.namespace.clone(), method);
-        let mut env = Env::new();
-        let data = self.engine().call(&name, args, &mut env)?;
-        Ok(DataGraph::new(service.to_string(), data))
+        self.access().run(service, Op::Get, || {
+            let mut env = Env::new();
+            let data = self.engine().call(&name, args.clone(), &mut env)?;
+            Ok(DataGraph::new(service.to_string(), data))
+        })
     }
 
     /// Submit a changed data graph back — the "update" half of
@@ -352,8 +404,8 @@ impl DataSpace {
                 )
             })?;
         let ovr = meta.borrow().update_override.clone();
-        match ovr {
-            UpdateOverride::None => self.default_submit(graph),
+        self.access().run(&graph.service, Op::Submit, || match &ovr {
+            UpdateOverride::None => self.default_submit_raw(graph),
             UpdateOverride::Rust(f) => f(self, graph),
             UpdateOverride::Procedure(name) => {
                 // Hand the full SDO datagraph (data + change summary)
@@ -362,12 +414,12 @@ impl DataSpace {
                 let dg = graph.to_datagraph_xml()?;
                 let mut env = Env::new();
                 self.xqse
-                    .call_procedure(&name, vec![Sequence::one(
+                    .call_procedure(name, vec![Sequence::one(
                         xdm::sequence::Item::Node(dg),
                     )], &mut env)
                     .map(|_| ())
             }
-        }
+        })
     }
 
     /// Render the ALDSP "design view" of a data service (Figure 1):
@@ -437,7 +489,8 @@ impl DataSpace {
         })?;
         let plan = decompose::decompose_create(&lineage, instance)?;
         *self.last_decomposition.borrow_mut() = plan.iter_sql().collect();
-        decompose::execute(self, plan)
+        self.access()
+            .run(service, Op::Submit, || decompose::execute(self, plan.clone()))
     }
 
     /// Delete a logical instance (children first, then the top row).
@@ -451,12 +504,18 @@ impl DataSpace {
         })?;
         let plan = decompose::decompose_delete(&lineage, instance)?;
         *self.last_decomposition.borrow_mut() = plan.iter_sql().collect();
-        decompose::execute(self, plan)
+        self.access()
+            .run(service, Op::Submit, || decompose::execute(self, plan.clone()))
     }
 
     /// The default update path: decompose against lineage and execute
     /// under two-phase commit across the affected sources.
     pub fn default_submit(&self, graph: &DataGraph) -> XdmResult<()> {
+        self.access()
+            .run(&graph.service, Op::Submit, || self.default_submit_raw(graph))
+    }
+
+    fn default_submit_raw(&self, graph: &DataGraph) -> XdmResult<()> {
         let meta = self
             .logical
             .borrow()

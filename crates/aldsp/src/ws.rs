@@ -7,6 +7,7 @@
 //! introspection → library-data-service → XQuery-call path as the
 //! paper's document-style credit-rating service.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -14,6 +15,10 @@ use xdm::error::{ErrorCode, XdmError, XdmResult};
 use xdm::node::NodeHandle;
 use xdm::qname::QName;
 use xdm::sequence::{Item, Sequence};
+
+use crate::errors::AldspCode;
+use crate::fault::Op;
+use crate::resilience::Access;
 
 /// An operation implementation: request sequence in, response
 /// sequence out.
@@ -33,6 +38,13 @@ pub struct WsOperation {
 }
 
 /// A web-service source: a named set of operations.
+///
+/// Calls are routed through the service's [`Access`] handle (fault
+/// injection + retry/timeout/circuit breaker). Responses of
+/// successful calls are remembered per request, so when the service
+/// is unavailable a read may be served from that marked-stale cache
+/// (graceful degradation; the credit-rating use case tolerates a
+/// slightly old score better than a failed profile read).
 #[derive(Clone)]
 pub struct WebService {
     /// Service name (e.g. `CreditRating`).
@@ -41,6 +53,8 @@ pub struct WebService {
     pub namespace: String,
     operations: HashMap<String, WsOperation>,
     order: Vec<String>,
+    access: Rc<RefCell<Access>>,
+    response_cache: Rc<RefCell<HashMap<String, Sequence>>>,
 }
 
 impl WebService {
@@ -51,7 +65,20 @@ impl WebService {
             namespace: namespace.to_string(),
             operations: HashMap::new(),
             order: Vec::new(),
+            access: Rc::new(RefCell::new(Access::none())),
+            response_cache: Rc::new(RefCell::new(HashMap::new())),
         }
+    }
+
+    /// Install (or replace) the fault-injection / resilience handle
+    /// for this source. Shared across clones.
+    pub fn set_access(&self, access: Access) {
+        *self.access.borrow_mut() = access;
+    }
+
+    /// A snapshot of this source's access handle.
+    pub fn access(&self) -> Access {
+        self.access.borrow().clone()
     }
 
     /// Register an operation.
@@ -85,6 +112,12 @@ impl WebService {
     }
 
     /// Invoke an operation.
+    ///
+    /// Routed through the [`Access`] handle as a degradable read: when
+    /// the service is unavailable (injected outage or open breaker), a
+    /// previously cached response for the *same request* is served
+    /// instead and counted in
+    /// [`crate::ResilienceStats::stale_reads`].
     pub fn call(&self, name: &str, request: &Sequence) -> XdmResult<Sequence> {
         let op = self.operations.get(name).ok_or_else(|| {
             XdmError::new(
@@ -92,7 +125,18 @@ impl WebService {
                 format!("web service {} has no operation {name}", self.name),
             )
         })?;
-        (op.handler)(request)
+        let key = request_fingerprint(name, request);
+        let access = self.access();
+        access.run_read(
+            &self.name,
+            Op::Call,
+            || {
+                let resp = (op.handler)(request)?;
+                self.response_cache.borrow_mut().insert(key.clone(), resp.clone());
+                Ok(resp)
+            },
+            || self.response_cache.borrow().get(&key).cloned(),
+        )
     }
 
     /// The paper's credit-rating service (Figures 2/3): takes a
@@ -117,15 +161,25 @@ impl WebService {
                         "getCreditRating expects an element request",
                     ));
                 };
-                let child = |local: &str| -> String {
+                // A malformed request (missing message part) must be
+                // rejected loudly — silently scoring an empty SSN
+                // would hand every malformed caller the same bogus
+                // rating. `aldsp:SRC_BAD_REQUEST` is never retried.
+                let child = |local: &str| -> XdmResult<String> {
                     node.children()
                         .iter()
                         .find(|c| c.name().map(|q| q.local.clone()).as_deref() == Some(local))
                         .map(|c| c.string_value())
-                        .unwrap_or_default()
+                        .filter(|v| !v.is_empty())
+                        .ok_or_else(|| {
+                            AldspCode::SrcBadRequest.error(format!(
+                                "getCreditRating request is missing required \
+                                 message part '{local}'"
+                            ))
+                        })
                 };
-                let ssn = child("ssn");
-                let last = child("lastName");
+                let ssn = child("ssn")?;
+                let last = child("lastName")?;
                 let rating = credit_score(&ssn, &last);
                 let resp = NodeHandle::root_element(QName::with_prefix_ns(
                     "cre2",
@@ -143,6 +197,18 @@ impl WebService {
         );
         svc
     }
+}
+
+/// A stable key for one (operation, request) pair, used by the stale
+/// response cache. String values are enough for the simulator's
+/// document-style requests.
+fn request_fingerprint(op: &str, request: &Sequence) -> String {
+    let mut key = String::from(op);
+    for item in request.items() {
+        key.push('\u{1}');
+        key.push_str(&item.string_value());
+    }
+    key
 }
 
 /// Deterministic FICO-range score from SSN + last name.
@@ -204,6 +270,28 @@ mod tests {
         let svc = WebService::credit_rating("urn:cr");
         let err = svc.call("nosuch", &Sequence::empty()).unwrap_err();
         assert!(err.is(xdm::error::ErrorCode::DSP0005));
+    }
+
+    #[test]
+    fn malformed_request_raises_bad_request_not_empty() {
+        let svc = WebService::credit_rating("urn:cr");
+        // Missing <ssn> part entirely.
+        let xml = "<getCreditRating xmlns=\"urn:cr\">\
+                   <lastName>Carey</lastName></getCreditRating>";
+        let doc = parse(xml).unwrap();
+        let req = Sequence::one(Item::Node(doc.children()[0].clone()));
+        let err = svc.call("getCreditRating", &req).unwrap_err();
+        assert_eq!(
+            crate::errors::AldspCode::of(&err),
+            Some(crate::errors::AldspCode::SrcBadRequest)
+        );
+        assert!(err.message.contains("ssn"));
+        // Empty <ssn> is just as malformed.
+        let err = svc.call("getCreditRating", &request("", "Carey")).unwrap_err();
+        assert_eq!(
+            crate::errors::AldspCode::of(&err),
+            Some(crate::errors::AldspCode::SrcBadRequest)
+        );
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! E10: resilience-layer overhead on the no-fault hot path.
+//!
+//! The `Access` handle sits on every source call, so its cost when
+//! nothing is installed (pass-through) and when a resilience policy is
+//! installed but no faults fire must be negligible — the target is
+//! <5% over the seed `bench_getprofile` figure. A third case measures
+//! the cost of actually riding out a probabilistic transient storm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aldsp::{FaultInjector, FaultKind, FaultPlan, FaultRule, Op, Policy, Resilience};
+use xqse_bench::demo;
+
+const N: usize = 100;
+
+fn read_once(d: &demo::Demo) -> usize {
+    d.space
+        .get("CustomerProfile", "getProfile", vec![])
+        .expect("get")
+        .len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_resilience");
+    g.sample_size(10);
+
+    // Baseline: Access::none() — the seed hot path.
+    let passthrough = demo::build(N, 3, 2).expect("demo");
+    g.bench_function("passthrough", |b| {
+        b.iter(|| black_box(read_once(&passthrough)))
+    });
+
+    // Resilience installed, zero faults: pure bookkeeping overhead
+    // (breaker admission + success recording per source call).
+    let guarded = demo::build(N, 3, 2).expect("demo");
+    guarded.space.install_resilience(Resilience::new(Policy::default()));
+    g.bench_function("resilience_no_faults", |b| {
+        b.iter(|| black_box(read_once(&guarded)))
+    });
+
+    // A seeded 10% transient rate on db2 scans: every blip is retried
+    // away (virtual-clock backoff, so no real sleeping), and the reads
+    // still all succeed.
+    let stormy = demo::build(N, 3, 2).expect("demo");
+    stormy.space.install_fault_injector(FaultInjector::new(FaultPlan::seeded(42).rule(
+        FaultRule::new("db2", Op::Scan, FaultKind::Transient).with_probability(0.10),
+    )));
+    // A generous retry budget keeps the storm statistically invisible
+    // (P[7 consecutive 10% blips] ~ 1e-7 per scan).
+    stormy.space.install_resilience(Resilience::new(Policy {
+        max_retries: 6,
+        ..Policy::default()
+    }));
+    g.bench_function("transient_storm_p10", |b| {
+        b.iter(|| black_box(read_once(&stormy)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 
 use aldsp::rel::{Column, ColumnType, Database, SqlValue, TableSchema};
 use aldsp::service::DataSpace;
+use aldsp::{FaultInjector, FaultKind, FaultPlan, FaultRule, Op, Policy, Resilience};
 use xdm::qname::QName;
 use xdm::sequence::{Item, Sequence};
 use xqeval::Env;
@@ -106,6 +107,78 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(e) => println!("\nduplicate detected: {} — {}", e.code, e.message),
         Ok(_) => println!("unexpected success"),
     }
+
+    // -----------------------------------------------------------------
+    // Injected infrastructure faults + resilience: the backup replica
+    // times out twice; the resilience layer retries (with exponential
+    // backoff on a *virtual* clock — no real sleeping) and the create
+    // succeeds without the script ever seeing a failure.
+    // -----------------------------------------------------------------
+    println!("\n--- fault injection: backup times out twice, retries absorb it ---");
+    let inj = space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new()
+            .rule(FaultRule::new("backup", Op::Execute, FaultKind::Timeout).times(2)),
+    ));
+    let res = space.install_resilience(Resilience::new(Policy::default()));
+
+    let keys = space.xqse().call_procedure(&create, vec![emp(5, "Eve")], &mut env)?;
+    let stats = res.lock().stats();
+    println!(
+        "create succeeded ({} key) despite {} injected timeouts; retries={}, \
+         virtual backoff elapsed={}ms",
+        keys.len(),
+        inj.lock().injected_count(),
+        stats.retries,
+        res.lock().clock().now_ms(),
+    );
+    for ev in inj.lock().events() {
+        println!("  injected: {}/{} -> {:?}", ev.source, ev.op, ev.injected);
+    }
+
+    // Now the backup goes down hard. With a low breaker threshold the
+    // circuit opens after two failed creates and the third fails fast
+    // without touching the source at all.
+    println!("\n--- permanent outage: circuit breaker opens ---");
+    space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new()
+            .rule(FaultRule::new("backup", Op::Execute, FaultKind::Permanent).times(2)),
+    ));
+    let res = space.install_resilience(Resilience::new(Policy {
+        max_retries: 0,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 5_000,
+        ..Policy::default()
+    }));
+    for (id, name) in [(6, "Fay"), (7, "Gus"), (8, "Hal")] {
+        match space.xqse().call_procedure(&create, vec![emp(id, name)], &mut env) {
+            Err(e) => println!(
+                "create #{id} failed: {} (breaker on backup: {})",
+                e.code,
+                res.lock().breaker_state("backup")
+            ),
+            Ok(_) => println!("create #{id} unexpectedly succeeded"),
+        }
+    }
+    println!(
+        "fast failures (source never called): {}",
+        res.lock().stats().fast_failures
+    );
+
+    // After the cooldown (advanced on the virtual clock) the breaker
+    // half-opens, the probe succeeds — the fault budget is spent — and
+    // the breaker closes again. Replication is back.
+    res.lock().clock().advance(5_000);
+    space.xqse().call_procedure(&create, vec![emp(9, "Ivy")], &mut env)?;
+    space.xqse().call_procedure(&create, vec![emp(10, "Jo")], &mut env)?;
+    println!("\nafter cooldown the probe succeeds and replication resumes:");
+    for t in res.lock().transitions() {
+        println!("  {t}");
+    }
+    println!(
+        "primary={} rows, backup={} rows",
+        primary.row_count("EMPLOYEE")?,
+        backup.row_count("EMPLOYEE")?
+    );
 
     Ok(())
 }

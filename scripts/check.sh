@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repo-wide gate: build, tests, lints, benches compile.
+#
+# Offline-friendly: every external dependency is vendored under
+# shims/, so --offline is the default; pass --online to let cargo
+# touch the network (e.g. on a developer machine with a warm index).
+#
+# Usage: scripts/check.sh [--online] [--quick]
+#   --quick  skip the release build and bench compilation
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NET=--offline
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --online) NET= ;;
+        --quick) QUICK=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+# Tier 1: the seed gate — debug build + the full test suite.
+run cargo build $NET
+run cargo test -q $NET --workspace
+
+# Lints. Clippy may be absent in minimal toolchains; warn, don't fail.
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy $NET --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint pass" >&2
+fi
+
+if [ "$QUICK" -eq 0 ]; then
+    run cargo build $NET --release
+    # Benches must at least compile (running them is a manual step).
+    run cargo bench $NET --workspace --no-run
+fi
+
+echo "OK"

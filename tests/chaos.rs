@@ -1,0 +1,494 @@
+//! Chaos tests: deterministic fault plans driven through the paper's
+//! use cases.
+//!
+//! Every test writes a [`FaultPlan`], installs it on a `DataSpace`,
+//! and asserts *exact* outcomes — which calls failed, what error code
+//! surfaced, how many retries happened, and (critically) that 2PC
+//! left no partial writes behind. All latency is virtual-clock time;
+//! nothing here sleeps.
+
+use proptest::prelude::*;
+
+use xqse_repro::aldsp::demo;
+use xqse_repro::aldsp::rel::{
+    Column, ColumnType, Database, SqlValue, TableSchema, TwoPhaseCoordinator, TxOutcome,
+    WriteOp,
+};
+use xqse_repro::aldsp::service::DataSpace;
+use xqse_repro::aldsp::{
+    AldspCode, BreakerState, FaultInjector, FaultKind, FaultPlan, FaultRule, Op, Policy,
+    Resilience,
+};
+use xqse_repro::xdm::qname::QName;
+use xqse_repro::xdm::sequence::{Item, Sequence};
+use xqse_repro::xqeval::Env;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+fn employee_schema() -> TableSchema {
+    TableSchema {
+        name: "EMPLOYEE".into(),
+        columns: vec![
+            Column::required("EmployeeID", ColumnType::Integer),
+            Column::required("Name", ColumnType::Varchar),
+        ],
+        primary_key: vec!["EmployeeID".into()],
+        foreign_keys: vec![],
+    }
+}
+
+/// Use-case-4 topology: a logical service replicating creates over a
+/// primary and a backup relational source.
+fn replicated_space() -> (DataSpace, Database, Database) {
+    let primary = Database::new("primary");
+    primary.create_table(employee_schema()).unwrap();
+    let backup = Database::new("backup");
+    backup.create_table(employee_schema()).unwrap();
+    let space = DataSpace::new();
+    space.register_relational_source(&primary).unwrap();
+    space.register_relational_source(&backup).unwrap();
+    (space, primary, backup)
+}
+
+fn emp(id: i64, name: &str) -> Sequence {
+    let xml =
+        format!("<EMPLOYEE><EmployeeID>{id}</EmployeeID><Name>{name}</Name></EMPLOYEE>");
+    let doc = xqse_repro::xmlparse::parse(&xml).unwrap();
+    Sequence::one(Item::Node(doc.children()[0].clone()))
+}
+
+/// Read one cell straight out of a database (bypassing every cache),
+/// so atomicity assertions see the source of truth.
+fn cell(db: &Database, table: &str, col: &str, row_idx: usize) -> String {
+    let schema = db.schema(table).unwrap();
+    let i = schema.col_index(col).unwrap();
+    db.scan(table).unwrap()[row_idx][i].lexical()
+}
+
+/// The paper's Use Case 4 replicating create (§III.D.4), verbatim
+/// shape: create on primary, then on backup, wrapping failures in
+/// application-level error codes.
+const REPLICATING_CREATE: &str = r#"
+declare namespace tns = "ld:ReplicatedEmployees";
+declare namespace p = "ld:primary/EMPLOYEE";
+declare namespace b = "ld:backup/EMPLOYEE";
+
+declare procedure tns:create($newEmps as element(EMPLOYEE)*)
+  as element(EMPLOYEE_KEY)*
+{
+  declare $keys as element(EMPLOYEE_KEY)* := ();
+  iterate $newEmp over $newEmps {
+    declare $key as element(EMPLOYEE_KEY)?;
+    try { set $key := p:createEMPLOYEE($newEmp); }
+    catch (* into $err, $msg) {
+      fn:error(xs:QName("PRIMARY_CREATE_FAILURE"),
+        fn:concat("Primary create failed due to: ", $err, " ", $msg));
+    };
+    try { b:createEMPLOYEE($newEmp); }
+    catch (* into $err, $msg) {
+      fn:error(xs:QName("SECONDARY_CREATE_FAILURE"),
+        fn:concat("Backup create failed due to: ", $err, " ", $msg));
+    };
+    set $keys := ($keys, $key);
+  }
+  return value $keys;
+};
+"#;
+
+/// A hardened variant: catches *only* `aldsp:SRC_UNAVAILABLE` from the
+/// backup create, compensates by deleting the already-created primary
+/// row, and re-raises an application code. Any other failure class
+/// propagates untouched.
+const COMPENSATING_CREATE: &str = r#"
+declare namespace tns = "ld:SafeReplicate";
+declare namespace p = "ld:primary/EMPLOYEE";
+declare namespace b = "ld:backup/EMPLOYEE";
+declare namespace aldsp = "urn:aldsp:errors";
+
+declare procedure tns:create($newEmp as element(EMPLOYEE))
+  as element(EMPLOYEE_KEY)*
+{
+  declare $key as element(EMPLOYEE_KEY)?;
+  set $key := p:createEMPLOYEE($newEmp);
+  try { b:createEMPLOYEE($newEmp); }
+  catch (aldsp:SRC_UNAVAILABLE into $err, $msg) {
+    p:deleteEMPLOYEE($newEmp);
+    fn:error(xs:QName("REPLICA_DOWN"),
+      fn:concat("backup source down; compensated primary create: ", $msg));
+  };
+  return value $key;
+};
+"#;
+
+/// Namespace-qualified wildcard: `aldsp:*` means "any infrastructure
+/// fault" and deliberately does NOT swallow logical `err:DSP000x`
+/// errors.
+const DEGRADING_CREATE: &str = r#"
+declare namespace tns = "ld:Fallback";
+declare namespace b = "ld:backup/EMPLOYEE";
+declare namespace aldsp = "urn:aldsp:errors";
+
+declare procedure tns:robustCreate($newEmp as element(EMPLOYEE)) as xs:string
+{
+  declare $status as xs:string := "replicated";
+  try { b:createEMPLOYEE($newEmp); }
+  catch (aldsp:* into $err, $msg) { set $status := "degraded"; };
+  return value $status;
+};
+"#;
+
+// ---------------------------------------------------------------------------
+// 1. Transient blips below the retry budget are invisible
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_blip_is_invisible_to_replicating_create() {
+    let (space, primary, backup) = replicated_space();
+    space.xqse().load(REPLICATING_CREATE).unwrap();
+    let inj = space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new()
+            .rule(FaultRule::new("primary", Op::Execute, FaultKind::FailNTimes(2))),
+    ));
+    let res = space.install_resilience(Resilience::new(Policy::default()));
+
+    let create = QName::with_ns("ld:ReplicatedEmployees", "create");
+    let batch = emp(1, "Ann").concat(emp(2, "Bob")).concat(emp(3, "Cid"));
+    let mut env = Env::new();
+    let keys = space.xqse().call_procedure(&create, vec![batch], &mut env).unwrap();
+
+    // The script never saw the two injected transients.
+    assert_eq!(keys.len(), 3);
+    assert_eq!(primary.row_count("EMPLOYEE").unwrap(), 3);
+    assert_eq!(backup.row_count("EMPLOYEE").unwrap(), 3);
+    assert_eq!(inj.lock().injected_count(), 2);
+    let r = res.lock();
+    assert_eq!(r.stats().retries, 2);
+    // Exponential backoff on the virtual clock: 10ms + 20ms.
+    assert_eq!(r.clock().now_ms(), 30);
+    assert_eq!(r.breaker_state("primary"), BreakerState::Closed);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Permanent faults abort the distributed update atomically
+// ---------------------------------------------------------------------------
+
+#[test]
+fn permanent_fault_aborts_distributed_update_atomically() {
+    let d = demo::build(2, 1, 1).unwrap();
+    let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    // One fault: db2's XA prepare fails once, permanently-flavored.
+    d.space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new()
+            .rule(FaultRule::new("db2", Op::Prepare, FaultKind::Permanent).times(1)),
+    ));
+
+    // Touch both sources so the submit must run 2PC.
+    g.set_value(0, &["LAST_NAME"], "Chaos").unwrap();
+    g.set_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"], "AMEX").unwrap();
+    let err = d.space.submit(&g).unwrap_err();
+    assert_eq!(AldspCode::of(&err), Some(AldspCode::SrcUnavailable));
+
+    // Atomicity: NEITHER source shows a partial write.
+    assert_eq!(cell(&d.db1, "CUSTOMER", "LAST_NAME", 0), "Carey");
+    assert_eq!(cell(&d.db2, "CREDIT_CARD", "CC_BRAND", 0), "MASTERCHARGE");
+
+    // The abort rolled back cleanly: prepared-row locks were released,
+    // so the very same graph submits successfully once the fault
+    // budget is spent.
+    d.space.submit(&g).unwrap();
+    assert_eq!(cell(&d.db1, "CUSTOMER", "LAST_NAME", 0), "Chaos");
+    assert_eq!(cell(&d.db2, "CREDIT_CARD", "CC_BRAND", 0), "AMEX");
+}
+
+// ---------------------------------------------------------------------------
+// 3. A transient prepare inside 2PC is retried to success
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_prepare_inside_2pc_is_retried_to_success() {
+    let d = demo::build(2, 1, 1).unwrap();
+    let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    let inj = d.space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new()
+            .rule(FaultRule::new("db2", Op::Prepare, FaultKind::FailNTimes(1))),
+    ));
+    let res = d.space.install_resilience(Resilience::new(Policy::default()));
+
+    g.set_value(0, &["LAST_NAME"], "Retry").unwrap();
+    g.set_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"], "DINERS").unwrap();
+    d.space.submit(&g).unwrap();
+
+    // Applied exactly once, after exactly one retry.
+    assert_eq!(cell(&d.db1, "CUSTOMER", "LAST_NAME", 0), "Retry");
+    assert_eq!(cell(&d.db2, "CREDIT_CARD", "CC_BRAND", 0), "DINERS");
+    assert_eq!(d.db1.row_count("CUSTOMER").unwrap(), 2);
+    assert_eq!(d.db2.row_count("CREDIT_CARD").unwrap(), 2);
+    assert_eq!(inj.lock().injected_count(), 1);
+    assert_eq!(res.lock().stats().retries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// 4/5. XQSE catch discriminates on the aldsp error taxonomy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn xqse_catch_on_src_unavailable_runs_compensation() {
+    let (space, primary, backup) = replicated_space();
+    space.xqse().load(COMPENSATING_CREATE).unwrap();
+    space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new().rule(FaultRule::new("backup", Op::Execute, FaultKind::Permanent)),
+    ));
+
+    let create = QName::with_ns("ld:SafeReplicate", "create");
+    let mut env = Env::new();
+    let err =
+        space.xqse().call_procedure(&create, vec![emp(1, "Ann")], &mut env).unwrap_err();
+
+    // The catch matched aldsp:SRC_UNAVAILABLE, compensated the primary
+    // create, and re-raised the application-level code.
+    assert_eq!(err.code.local, "REPLICA_DOWN");
+    assert!(err.message.contains("compensated"), "got: {}", err.message);
+    assert_eq!(primary.row_count("EMPLOYEE").unwrap(), 0, "compensation ran");
+    assert_eq!(backup.row_count("EMPLOYEE").unwrap(), 0);
+}
+
+#[test]
+fn xqse_catch_is_precise_other_codes_propagate_uncompensated() {
+    let (space, primary, _backup) = replicated_space();
+    space.xqse().load(COMPENSATING_CREATE).unwrap();
+    // A *transient* failure, not an outage: the SRC_UNAVAILABLE catch
+    // must not match, so the error propagates and (per the paper) the
+    // primary-side effect is NOT rolled back.
+    space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new().rule(FaultRule::new("backup", Op::Execute, FaultKind::Transient)),
+    ));
+
+    let create = QName::with_ns("ld:SafeReplicate", "create");
+    let mut env = Env::new();
+    let err =
+        space.xqse().call_procedure(&create, vec![emp(1, "Ann")], &mut env).unwrap_err();
+    assert_eq!(AldspCode::of(&err), Some(AldspCode::SrcTransient));
+    assert_eq!(primary.row_count("EMPLOYEE").unwrap(), 1, "no compensation");
+}
+
+#[test]
+fn xqse_namespace_wildcard_catches_any_infrastructure_fault() {
+    let (space, _primary, backup) = replicated_space();
+    space.xqse().load(DEGRADING_CREATE).unwrap();
+    space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new()
+            .rule(FaultRule::new("backup", Op::Execute, FaultKind::Timeout).times(1)),
+    ));
+    let create = QName::with_ns("ld:Fallback", "robustCreate");
+    let mut env = Env::new();
+
+    // aldsp:* catches the timeout …
+    let out =
+        space.xqse().call_procedure(&create, vec![emp(1, "Ann")], &mut env).unwrap();
+    assert_eq!(out.string_value().unwrap(), "degraded");
+
+    // … but does NOT swallow a logical err:DSP0003 (duplicate key):
+    // the fault budget is spent, so this create reaches the source and
+    // collides with a pre-existing row.
+    backup
+        .insert("EMPLOYEE", vec![SqlValue::Int(2), SqlValue::Str("Ghost".into())])
+        .unwrap();
+    let err =
+        space.xqse().call_procedure(&create, vec![emp(2, "Bob")], &mut env).unwrap_err();
+    assert!(
+        err.is(xqse_repro::xdm::error::ErrorCode::DSP0003),
+        "expected DSP0003 to escape the aldsp:* catch, got {}",
+        err.code
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 6. Circuit breaker + stale-read degradation through the DataSpace
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_opens_and_reads_degrade_to_stale_cache() {
+    let d = demo::build(2, 1, 1).unwrap();
+    let res = d.space.install_resilience(Resilience::new(Policy {
+        max_retries: 0,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 60_000,
+        ..Policy::default()
+    }));
+
+    // Warm read while db2 is healthy — this populates its scan cache.
+    let warm = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    let warm_brand =
+        warm.get_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"]).unwrap();
+
+    // Now db2 goes down hard.
+    d.space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new().rule(FaultRule::new("db2", Op::Scan, FaultKind::Permanent)),
+    ));
+
+    // Reads keep succeeding from the marked-stale cache; each get
+    // scans db2 exactly once, so the third failed scan trips the
+    // breaker (threshold 3).
+    for _ in 0..3 {
+        let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+        assert_eq!(
+            g.get_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"]).unwrap(),
+            warm_brand,
+            "stale read serves the last good snapshot"
+        );
+    }
+    {
+        let r = res.lock();
+        assert_eq!(r.breaker_state("db2"), BreakerState::Open);
+        assert_eq!(r.breaker_state("db1"), BreakerState::Closed, "db1 unaffected");
+        let s = r.stats();
+        assert_eq!(s.stale_reads, 3, "every faulted scan degraded to cache");
+        assert_eq!(s.fast_failures, 0, "breaker tripped on the last scan");
+    }
+
+    // With the breaker open the source is no longer hammered: the next
+    // get fails fast at admission and still serves stale data.
+    let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    assert_eq!(
+        g.get_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"]).unwrap(),
+        warm_brand
+    );
+    {
+        let r = res.lock();
+        let s = r.stats();
+        assert_eq!(s.stale_reads, 4);
+        assert_eq!(s.fast_failures, 1, "open breaker stopped hammering db2");
+    }
+
+    // After the cooldown the breaker half-opens; the probe hits the
+    // still-broken source and the breaker re-opens — while the read
+    // STILL succeeds from stale cache.
+    res.lock().clock().advance(60_000);
+    let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    assert_eq!(
+        g.get_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"]).unwrap(),
+        warm_brand
+    );
+    let r = res.lock();
+    let states: Vec<(BreakerState, BreakerState)> = r
+        .transitions()
+        .iter()
+        .filter(|t| t.source == "db2")
+        .map(|t| (t.from, t.to))
+        .collect();
+    assert_eq!(
+        states,
+        vec![
+            (BreakerState::Closed, BreakerState::Open),
+            (BreakerState::Open, BreakerState::HalfOpen),
+            (BreakerState::HalfOpen, BreakerState::Open),
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 7. Property: retry + 2PC never double-applies a write
+// ---------------------------------------------------------------------------
+
+fn item_schema() -> TableSchema {
+    TableSchema {
+        name: "ITEM".into(),
+        columns: vec![
+            Column::required("ID", ColumnType::Integer),
+            Column::required("VAL", ColumnType::Varchar),
+        ],
+        primary_key: vec!["ID".into()],
+        foreign_keys: vec![],
+    }
+}
+
+fn item_insert() -> WriteOp {
+    WriteOp::Insert {
+        table: "ITEM".into(),
+        row: vec![SqlValue::Int(1), SqlValue::Str("x".into())],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every (faults k, retry budget r): an auto-commit write goes
+    /// through iff k <= r, and the row lands AT MOST once — retries of
+    /// an injected failure can never re-apply a write because the
+    /// injection fires before the source is touched and a real failure
+    /// aborts atomically.
+    #[test]
+    fn retry_never_double_applies_autocommit_writes(k in 0u32..5, r in 0u32..5) {
+        let db = Database::new("chaosdb");
+        db.create_table(item_schema()).unwrap();
+        let space = DataSpace::new();
+        space.register_relational_source(&db).unwrap();
+        space.install_fault_injector(FaultInjector::new(
+            FaultPlan::new()
+                .rule(FaultRule::new("chaosdb", Op::Execute, FaultKind::FailNTimes(k))),
+        ));
+        let res = space.install_resilience(Resilience::new(Policy {
+            max_retries: r,
+            ..Policy::default()
+        }));
+
+        let out = db.execute(vec![item_insert()]);
+        let rows = db.row_count("ITEM").unwrap();
+        prop_assert!(rows <= 1, "write applied {rows} times");
+        if k <= r {
+            prop_assert!(out.is_ok());
+            prop_assert_eq!(rows, 1);
+            prop_assert_eq!(res.lock().stats().retries, u64::from(k));
+        } else {
+            prop_assert_eq!(AldspCode::of(&out.unwrap_err()), Some(AldspCode::SrcTransient));
+            prop_assert_eq!(rows, 0);
+            prop_assert_eq!(res.lock().stats().retries, u64::from(r));
+        }
+    }
+
+    /// Same property through the XA path: a flaky prepare on one 2PC
+    /// participant either delays the commit (k <= r) or aborts the
+    /// whole transaction — never a partial or duplicated apply.
+    #[test]
+    fn retry_never_double_applies_2pc_writes(k in 0u32..5, r in 0u32..5) {
+        let db_a = Database::new("pa");
+        db_a.create_table(item_schema()).unwrap();
+        let db_b = Database::new("pb");
+        db_b.create_table(item_schema()).unwrap();
+        let space = DataSpace::new();
+        space.register_relational_source(&db_a).unwrap();
+        space.register_relational_source(&db_b).unwrap();
+        space.install_fault_injector(FaultInjector::new(
+            FaultPlan::new()
+                .rule(FaultRule::new("pb", Op::Prepare, FaultKind::FailNTimes(k))),
+        ));
+        space.install_resilience(Resilience::new(Policy {
+            max_retries: r,
+            ..Policy::default()
+        }));
+
+        let outcome = TwoPhaseCoordinator::new(vec![
+            (db_a.clone(), vec![item_insert()]),
+            (db_b.clone(), vec![item_insert()]),
+        ])
+        .run();
+        let (ra, rb) =
+            (db_a.row_count("ITEM").unwrap(), db_b.row_count("ITEM").unwrap());
+        prop_assert!(ra <= 1 && rb <= 1, "double apply: pa={ra} pb={rb}");
+        prop_assert_eq!(ra, rb, "partial apply across participants");
+        if k <= r {
+            prop_assert!(matches!(outcome, TxOutcome::Committed));
+            prop_assert_eq!(ra, 1);
+        } else {
+            match outcome {
+                TxOutcome::Aborted(e) => {
+                    prop_assert_eq!(AldspCode::of(&e), Some(AldspCode::SrcTransient))
+                }
+                other => prop_assert!(false, "expected abort, got {other:?}"),
+            }
+            prop_assert_eq!(ra, 0);
+        }
+    }
+}
