@@ -15,6 +15,12 @@
 //! automatically provided … as a callable means to modify relational
 //! source data", §III.A).
 
+// Generated entity services (and their capability/materialization
+// closures) must surface failures as XQSE-catchable errors, never
+// panic: enforced at lint level.
+#![deny(clippy::unwrap_used)]
+
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -23,10 +29,10 @@ use xdm::node::NodeHandle;
 use xdm::qname::QName;
 use xdm::sequence::{Item, Sequence};
 
-use xqeval::Engine;
+use xqeval::{ColClass, Engine, Env, OptCounters, SourceCapability};
 
 use crate::lineage::SourceRef;
-use crate::rel::{Condition, Database, SqlValue, TableSchema, WriteOp};
+use crate::rel::{ColumnType, Condition, Database, SqlValue, TableSchema, WriteOp};
 use crate::service::{DataService, Method, MethodKind, ServiceKind, SourceBinding};
 use crate::ws::WebService;
 use crate::xmlmap::{self, service_namespace};
@@ -38,6 +44,11 @@ pub fn introspect_relational(
     db: &Database,
 ) -> XdmResult<Vec<DataService>> {
     let mut out = Vec::new();
+    // The source's write-path fast paths (index-accelerated PK
+    // uniqueness checks) follow the engine's optimize flag; the
+    // mirror is an `Arc<AtomicBool>` because `Database` is `Send`
+    // while the engine flag is an `Rc<Cell<bool>>`.
+    engine.register_opt_mirror(db.opt_flag());
     let table_names = db.table_names();
     for table in &table_names {
         let schema = db.schema(table)?;
@@ -114,7 +125,94 @@ fn one_element(args: &[Sequence], what: &str) -> XdmResult<NodeHandle> {
     }
 }
 
+/// Map a relational column type to the pushdown value class, if the
+/// source can answer indexed point-selects on it.
+fn col_class(ty: ColumnType) -> Option<ColClass> {
+    match ty {
+        ColumnType::Integer => Some(ColClass::Integer),
+        ColumnType::Varchar => Some(ColClass::String),
+        ColumnType::Boolean => Some(ColClass::Boolean),
+        // Decimal/Date/Timestamp equality has value-semantics (e.g.
+        // 1.0 = 1.00) that a lexical hash bucket cannot honor.
+        ColumnType::Decimal | ColumnType::Date | ColumnType::Timestamp => None,
+    }
+}
+
 fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &str) {
+    let opt = engine.optimize_handle();
+    let counters = engine.opt_counters();
+
+    // Versioned XDM materialization cache: `(table version, tree)`.
+    // The table→XML conversion is the dominant per-call cost of the
+    // read method; the version stamp makes reuse exact — any committed
+    // write to the table bumps its version and forces a rebuild, while
+    // writes to *other* tables leave this entry valid.
+    let mat: Rc<RefCell<Option<(u64, Sequence)>>> = Rc::new(RefCell::new(None));
+    {
+        let mat = mat.clone();
+        engine.register_mat_flusher(Rc::new(move || {
+            *mat.borrow_mut() = None;
+        }));
+    }
+
+    // Pushdown capability: the mediator may replace a FLWOR
+    // scan-then-filter over this read function with indexed
+    // point-selects answered here.
+    let columns: Vec<(String, ColClass)> = schema
+        .columns
+        .iter()
+        .filter_map(|c| col_class(c.ty).map(|cl| (c.name.clone(), cl)))
+        .collect();
+    let select = {
+        let db = db.clone();
+        let schema = schema.clone();
+        let ns = ns.to_string();
+        let table = schema.name.clone();
+        let counters = counters.clone();
+        Rc::new(move |_env: &mut Env, col: &str, key: &str| -> XdmResult<Sequence> {
+            let ty = schema
+                .column(col)
+                .ok_or_else(|| {
+                    XdmError::new(
+                        ErrorCode::DSP0003,
+                        format!("pushdown on unknown column {col} of {table}"),
+                    )
+                })?
+                .ty;
+            // The canonical key the rewriter hands us always parses for
+            // pushable classes; a failure means the comparison could
+            // never match a stored value of this type.
+            let v = match SqlValue::parse(ty, key) {
+                Ok(v) => v,
+                Err(_) => return Ok(Sequence::empty()),
+            };
+            OptCounters::bump(&counters.indexed_selects);
+            let rows = db.select_indexed(&table, &vec![(col.to_string(), v)])?;
+            Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
+        }) as Rc<dyn Fn(&mut Env, &str, &str) -> XdmResult<Sequence>>
+    };
+    let version = {
+        let db = db.clone();
+        let table = schema.name.clone();
+        Rc::new(move || db.table_version(&table).unwrap_or(0)) as Rc<dyn Fn() -> u64>
+    };
+    let served_version = {
+        let mat = mat.clone();
+        let db = db.clone();
+        let table = schema.name.clone();
+        Rc::new(move || match &*mat.borrow() {
+            // The read function last served this snapshot (under
+            // breaker-open degradation it is *older* than the live
+            // version, so derived caches stamp themselves stale).
+            Some((v, _)) => *v,
+            None => db.table_version(&table).unwrap_or(0),
+        }) as Rc<dyn Fn() -> u64>
+    };
+    engine.register_source_capability(
+        QName::with_ns(ns.to_string(), schema.name.clone()),
+        SourceCapability { columns, select, version, served_version },
+    );
+
     let db = db.clone();
     let schema = schema.clone();
     let ns = ns.to_string();
@@ -123,8 +221,38 @@ fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &
         QName::with_ns(ns.clone(), table.clone()),
         0,
         Rc::new(move |_env, _args| {
-            let rows = db.scan(&table)?;
-            Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
+            if !opt.get() {
+                // Kill-switch: seed behavior — full scan + rebuild.
+                let rows = db.scan(&table)?;
+                return Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows));
+            }
+            let known = mat.borrow().as_ref().map(|(v, _)| *v);
+            let (ver, rows) = db.scan_if_changed(&table, known)?;
+            match rows {
+                None => {
+                    // Version unchanged: the cached tree is exact.
+                    if let Some((_, seq)) = &*mat.borrow() {
+                        OptCounters::bump(&counters.mat_hits);
+                        return Ok(seq.clone());
+                    }
+                    // Defensive: a flusher ran between the version
+                    // probe and here — rebuild from a full scan.
+                    let rows = db.scan(&table)?;
+                    let seq = xmlmap::rows_to_sequence(&schema, &ns, &rows);
+                    OptCounters::bump(&counters.mat_misses);
+                    *mat.borrow_mut() = Some((ver, seq.clone()));
+                    Ok(seq)
+                }
+                Some(rows) => {
+                    OptCounters::bump(&counters.mat_misses);
+                    let seq = xmlmap::rows_to_sequence(&schema, &ns, &rows);
+                    // Key on the version the scan *served* (under an
+                    // outage this is the stale snapshot's version, so
+                    // recovery forces a rebuild).
+                    *mat.borrow_mut() = Some((ver, seq.clone()));
+                    Ok(seq)
+                }
+            }
         }),
     );
 }
@@ -150,6 +278,8 @@ fn register_read_by_key(
             )
         })?
         .ty;
+    let opt = engine.optimize_handle();
+    let counters = engine.opt_counters();
     engine.register_external_function(
         QName::with_ns(ns.clone(), format!("getBy{pk}")),
         1,
@@ -159,7 +289,12 @@ fn register_read_by_key(
                 return Ok(Sequence::empty());
             }
             let v = SqlValue::parse(pk_ty, &key)?;
-            let rows = db.select(&table, &vec![(pk.clone(), v)])?;
+            let rows = if opt.get() {
+                OptCounters::bump(&counters.indexed_selects);
+                db.select_indexed(&table, &vec![(pk.clone(), v)])?
+            } else {
+                db.select(&table, &vec![(pk.clone(), v)])?
+            };
             Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
         }),
     );
@@ -292,6 +427,8 @@ fn register_navigation(
     let fk = fk.clone();
     let child_ns = service_namespace(&db.name, &child_schema.name);
     let fname = format!("get{}", child_schema.name);
+    let opt = engine.optimize_handle();
+    let counters = engine.opt_counters();
     engine.register_external_function(
         QName::with_ns(parent_ns.to_string(), fname.clone()),
         1,
@@ -308,7 +445,16 @@ fn register_navigation(
                         .map(|v| (child_col.clone(), v))
                 })
                 .collect::<XdmResult<_>>()?;
-            let rows = db.select(&child_schema.name, &cond)?;
+            // FK columns are rarely the child's primary key, so the
+            // seed's select() was a full scan per navigation call —
+            // the O(n²) heart of experiment E1. The secondary index
+            // turns it into a hash probe.
+            let rows = if opt.get() {
+                OptCounters::bump(&counters.indexed_selects);
+                db.select_indexed(&child_schema.name, &cond)?
+            } else {
+                db.select(&child_schema.name, &cond)?
+            };
             Ok(xmlmap::rows_to_sequence(&child_schema, &child_ns, &rows))
         }),
     );

@@ -13,9 +13,14 @@
 //! transaction cannot slip between `prepare` and `commit` — the
 //! standard presumed-abort XA discipline.
 
+// The versioned-scan/secondary-index layer sits on every read path;
+// it must degrade via Results, never panic: enforced at lint level
+// (test-only unwraps are re-allowed on the tests module).
+#![deny(clippy::unwrap_used)]
+
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -274,8 +279,18 @@ pub fn fresh_tx() -> TxId {
 #[derive(Debug)]
 struct TableData {
     schema: TableSchema,
-    rows: Vec<(u64, Row)>, // (row id, values)
+    rows: Vec<(u64, Row)>, // (row id, values); always sorted by row id
     next_row_id: u64,
+    /// Monotonically increasing table version: bumped once per
+    /// committed transaction that touches the table. Read functions
+    /// key their materialized XDM trees on this, so unchanged tables
+    /// never pay a re-conversion (ISSUE 2 tentpole part 2).
+    version: u64,
+    /// Lazily built secondary hash indexes: column name → value
+    /// fingerprint → row ids. Built on the first indexed select of a
+    /// column, maintained incrementally by `commit`, dropped wholesale
+    /// by `rollback` (rebuilt on next use).
+    indexes: HashMap<String, HashMap<String, Vec<u64>>>,
 }
 
 #[derive(Debug)]
@@ -292,10 +307,12 @@ struct DbInner {
     prepared: HashMap<TxId, Prepared>,
     commits: u64,
     aborts: u64,
-    /// Last successfully read snapshot per table, served as a
-    /// marked-stale result when the source is unavailable and the
-    /// resilience policy allows degraded reads.
-    read_cache: HashMap<String, Vec<Row>>,
+    /// Last successfully read snapshot per table (tagged with the
+    /// table version *at snapshot time*), served as a marked-stale
+    /// result when the source is unavailable and the resilience
+    /// policy allows degraded reads. Stale consumers must key any
+    /// derived caches on the snapshot's version, never the live one.
+    read_cache: HashMap<String, (u64, Vec<Row>)>,
 }
 
 /// An in-memory relational database (one "source" in ALDSP terms).
@@ -314,6 +331,13 @@ pub struct Database {
     pub name: String,
     inner: Arc<Mutex<DbInner>>,
     access: Arc<Mutex<Access>>,
+    /// Optimize-gated write-path fast paths (index-accelerated
+    /// primary-key uniqueness checks in `prepare`). `Arc<AtomicBool>`
+    /// rather than the engine's `Rc<Cell<bool>>` because `Database`
+    /// must stay `Send`; introspection registers this handle as an
+    /// engine opt mirror so `Engine::set_optimize` toggles it.
+    /// Defaults to off (the seed's full-scan check) until registered.
+    write_opt: Arc<AtomicBool>,
 }
 
 fn cerr(msg: impl Into<String>) -> XdmError {
@@ -327,7 +351,19 @@ impl Database {
             name: name.to_string(),
             inner: Arc::new(Mutex::new(DbInner::default())),
             access: Arc::new(Mutex::new(Access::none())),
+            write_opt: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// The optimize mirror for this source's write-path fast paths.
+    /// Introspection hands this to [`Engine::register_opt_mirror`] so
+    /// the engine kill-switch also disables index-accelerated
+    /// uniqueness checks (`set_optimize(false)` must restore the
+    /// seed's O(rows) scan exactly).
+    ///
+    /// [`Engine::register_opt_mirror`]: xqeval::Engine::register_opt_mirror
+    pub fn opt_flag(&self) -> Arc<AtomicBool> {
+        self.write_opt.clone()
     }
 
     /// Install (or replace) the fault-injection / resilience handle
@@ -355,7 +391,13 @@ impl Database {
         inner.table_order.push(schema.name.clone());
         inner.tables.insert(
             schema.name.clone(),
-            TableData { schema, rows: Vec::new(), next_row_id: 1 },
+            TableData {
+                schema,
+                rows: Vec::new(),
+                next_row_id: 1,
+                version: 1,
+                indexes: HashMap::new(),
+            },
         );
         Ok(())
     }
@@ -397,13 +439,84 @@ impl Database {
             .tables
             .get(table)
             .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
+        let ver = t.version;
         let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
-        inner.read_cache.insert(table.to_string(), rows.clone());
+        inner.read_cache.insert(table.to_string(), (ver, rows.clone()));
         Ok(rows)
     }
 
     fn cached_rows(&self, table: &str) -> Option<Vec<Row>> {
-        self.inner.lock().read_cache.get(table).cloned()
+        self.inner.lock().read_cache.get(table).map(|(_, rows)| rows.clone())
+    }
+
+    /// The table's current version counter (bumped once per committed
+    /// transaction that touches it). This is catalog metadata, not a
+    /// data read: it is deliberately *not* routed through the
+    /// [`Access`] handle, so cache-validity probes neither trip fault
+    /// injection nor count as source traffic.
+    pub fn table_version(&self, table: &str) -> XdmResult<u64> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|t| t.version)
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))
+    }
+
+    /// Versioned scan for materialization caching: returns the table
+    /// version and, *only if* it differs from `known`, the rows. When
+    /// the caller's cached version is still current, the row clone is
+    /// skipped entirely — `(version, None)` means "your copy is good".
+    ///
+    /// Degrades like [`Database::scan`]: under an outage the last
+    /// snapshot is served, tagged with the *snapshot's* version (never
+    /// the live one), so stale-read consumers key derived caches
+    /// correctly.
+    pub fn scan_if_changed(
+        &self,
+        table: &str,
+        known: Option<u64>,
+    ) -> XdmResult<(u64, Option<Vec<Row>>)> {
+        let access = self.access();
+        access.run_read(
+            &self.name,
+            Op::Scan,
+            || self.scan_if_changed_raw(table, known),
+            || self.cached_rows_versioned(table, known),
+        )
+    }
+
+    fn scan_if_changed_raw(
+        &self,
+        table: &str,
+        known: Option<u64>,
+    ) -> XdmResult<(u64, Option<Vec<Row>>)> {
+        let mut inner = self.inner.lock();
+        let t = inner
+            .tables
+            .get(table)
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
+        let ver = t.version;
+        if known == Some(ver) {
+            return Ok((ver, None));
+        }
+        let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
+        inner.read_cache.insert(table.to_string(), (ver, rows.clone()));
+        Ok((ver, Some(rows)))
+    }
+
+    fn cached_rows_versioned(
+        &self,
+        table: &str,
+        known: Option<u64>,
+    ) -> Option<(u64, Option<Vec<Row>>)> {
+        let inner = self.inner.lock();
+        let (ver, rows) = inner.read_cache.get(table)?;
+        if known == Some(*ver) {
+            Some((*ver, None))
+        } else {
+            Some((*ver, Some(rows.clone())))
+        }
     }
 
     /// Rows matching an equality condition (degradable read, like
@@ -425,9 +538,10 @@ impl Database {
             .get(table)
             .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
         let idx = cond_indices(&t.schema, cond)?;
+        let ver = t.version;
         let all: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
         let hits = all.iter().filter(|r| row_matches(r, &idx)).cloned().collect();
-        inner.read_cache.insert(table.to_string(), all);
+        inner.read_cache.insert(table.to_string(), (ver, all));
         Ok(hits)
     }
 
@@ -435,8 +549,97 @@ impl Database {
         let inner = self.inner.lock();
         let t = inner.tables.get(table)?;
         let idx = cond_indices(&t.schema, cond).ok()?;
-        let cached = inner.read_cache.get(table)?;
+        let (_, cached) = inner.read_cache.get(table)?;
         Some(cached.iter().filter(|r| row_matches(r, &idx)).cloned().collect())
+    }
+
+    /// Index-accelerated variant of [`Database::select`]: the first
+    /// condition column with an indexable type (INTEGER, VARCHAR,
+    /// BOOLEAN) and a non-NULL value probes a secondary hash index
+    /// (built lazily on first use, maintained incrementally by
+    /// `commit`); every candidate is then re-verified against the
+    /// *full* condition, so results are always identical to a full
+    /// scan. Falls back to a filtered scan when no condition column is
+    /// indexable.
+    ///
+    /// This is the target of the FLWOR pushdown rewrite and the
+    /// optimize-gated read paths; plain [`Database::select`] keeps the
+    /// seed's full-scan behavior so `set_optimize(false)` measurements
+    /// stay honest.
+    pub fn select_indexed(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
+        let access = self.access();
+        access.run_read(
+            &self.name,
+            Op::Select,
+            || self.select_indexed_raw(table, cond),
+            || self.cached_select(table, cond),
+        )
+    }
+
+    fn select_indexed_raw(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
+        let mut inner = self.inner.lock();
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
+        let idx = cond_indices(&t.schema, cond)?;
+        let TableData { schema, rows, indexes, .. } = &mut *t;
+        let probe = cond.iter().find_map(|(c, v)| {
+            let col = schema.column(c)?;
+            if !indexable_type(col.ty) {
+                return None;
+            }
+            index_fingerprint(v).map(|fp| (c.clone(), fp))
+        });
+        let Some((col, fp)) = probe else {
+            // No indexable column in the condition: plain filtered scan
+            // (without refreshing the stale-read snapshot — only full
+            // scans snapshot the table).
+            return Ok(rows
+                .iter()
+                .filter(|(_, r)| row_matches(r, &idx))
+                .map(|(_, r)| r.clone())
+                .collect());
+        };
+        if !indexes.contains_key(&col) {
+            let built = build_index(schema, rows, &col);
+            indexes.insert(col.clone(), built);
+        }
+        let mut ids = indexes
+            .get(&col)
+            .and_then(|m| m.get(&fp))
+            .cloned()
+            .unwrap_or_default();
+        // Buckets accumulate in maintenance order; results must come
+        // back in table (row-id) order, exactly like a full scan.
+        ids.sort_unstable();
+        let mut hits = Vec::new();
+        for id in ids {
+            // `rows` is always sorted by row id (ids are allocated
+            // monotonically and deletes preserve order).
+            if let Ok(pos) = rows.binary_search_by_key(&id, |(rid, _)| *rid) {
+                let (_, r) = &rows[pos];
+                if row_matches(r, &idx) {
+                    hits.push(r.clone());
+                }
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Columns of `table` that currently have a built secondary index
+    /// (diagnostics; `xqsh --explain`).
+    pub fn indexed_columns(&self, table: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|t| {
+                let mut cols: Vec<String> = t.indexes.keys().cloned().collect();
+                cols.sort();
+                cols
+            })
+            .unwrap_or_default()
     }
 
     /// Number of rows.
@@ -499,10 +702,11 @@ impl Database {
             .flat_map(|p| p.inserted_keys.iter())
             .map(|(t, k)| (t.clone(), key_fingerprint(k)))
             .collect();
+        let use_index = self.write_opt.load(Ordering::Relaxed);
         for op in &ops {
             let t = inner
                 .tables
-                .get(op.table())
+                .get_mut(op.table())
                 .ok_or_else(|| cerr(format!("no table {}", op.table())))?;
             match op {
                 WriteOp::Insert { table, row } => {
@@ -510,9 +714,7 @@ impl Database {
                     let key = pk_values(&t.schema, row);
                     if !key.is_empty() {
                         let fp = key_fingerprint(&key);
-                        let dup_existing = t.rows.iter().any(|(_, r)| {
-                            pk_values(&t.schema, r) == key
-                        });
+                        let dup_existing = pk_dup_check(t, &key, use_index);
                         if dup_existing || reserved_keys.contains(&(table.clone(), fp)) {
                             return Err(XdmError::new(
                                 ErrorCode::DSP0003,
@@ -610,34 +812,100 @@ impl Database {
     pub fn commit(&self, tx: TxId) {
         let mut inner = self.inner.lock();
         let Some(p) = inner.prepared.remove(&tx) else { return };
+        let mut touched: Vec<String> = Vec::new();
         for op in p.ops {
+            let tname = op.table().to_string();
+            if !touched.contains(&tname) {
+                touched.push(tname);
+            }
             match op {
                 WriteOp::Insert { table, row } => {
                     let t = inner.tables.get_mut(&table).expect("validated");
-                    let id = t.next_row_id;
-                    t.next_row_id += 1;
-                    t.rows.push((id, row));
+                    let TableData { schema, rows, next_row_id, indexes, .. } = &mut *t;
+                    let id = *next_row_id;
+                    *next_row_id += 1;
+                    // Incrementally maintain any built secondary index.
+                    for (col, map) in indexes.iter_mut() {
+                        if let Some(ci) = schema.col_index(col) {
+                            if let Some(fp) = index_fingerprint(&row[ci]) {
+                                map.entry(fp).or_default().push(id);
+                            }
+                        }
+                    }
+                    rows.push((id, row));
                 }
                 WriteOp::Update { table, set, cond, .. } => {
                     let t = inner.tables.get_mut(&table).expect("validated");
-                    let idx = cond_indices(&t.schema, &cond).expect("validated");
+                    let TableData { schema, rows, indexes, .. } = &mut *t;
+                    let idx = cond_indices(schema, &cond).expect("validated");
                     let sets: Vec<(usize, SqlValue)> = set
                         .iter()
-                        .map(|(c, v)| (t.schema.col_index(c).expect("validated"), v.clone()))
+                        .map(|(c, v)| (schema.col_index(c).expect("validated"), v.clone()))
                         .collect();
-                    for (_, r) in t.rows.iter_mut() {
-                        if row_matches(r, &idx) {
-                            for (i, v) in &sets {
-                                r[*i] = v.clone();
+                    for (id, r) in rows.iter_mut() {
+                        if !row_matches(r, &idx) {
+                            continue;
+                        }
+                        // Capture old fingerprints of indexed columns,
+                        // apply the SETs, then fix up changed entries.
+                        let old: Vec<(String, Option<String>)> = indexes
+                            .keys()
+                            .map(|col| {
+                                let fp = schema
+                                    .col_index(col)
+                                    .and_then(|ci| index_fingerprint(&r[ci]));
+                                (col.clone(), fp)
+                            })
+                            .collect();
+                        for (i, v) in &sets {
+                            r[*i] = v.clone();
+                        }
+                        for (col, old_fp) in old {
+                            let Some(ci) = schema.col_index(&col) else { continue };
+                            let new_fp = index_fingerprint(&r[ci]);
+                            if old_fp == new_fp {
+                                continue;
+                            }
+                            let Some(map) = indexes.get_mut(&col) else { continue };
+                            if let Some(fp) = old_fp {
+                                if let Some(ids) = map.get_mut(&fp) {
+                                    ids.retain(|x| x != id);
+                                }
+                            }
+                            if let Some(fp) = new_fp {
+                                map.entry(fp).or_default().push(*id);
                             }
                         }
                     }
                 }
                 WriteOp::Delete { table, cond, .. } => {
                     let t = inner.tables.get_mut(&table).expect("validated");
-                    let idx = cond_indices(&t.schema, &cond).expect("validated");
-                    t.rows.retain(|(_, r)| !row_matches(r, &idx));
+                    let TableData { schema, rows, indexes, .. } = &mut *t;
+                    let idx = cond_indices(schema, &cond).expect("validated");
+                    rows.retain(|(id, r)| {
+                        if !row_matches(r, &idx) {
+                            return true;
+                        }
+                        for (col, map) in indexes.iter_mut() {
+                            if let Some(fp) = schema
+                                .col_index(col)
+                                .and_then(|ci| index_fingerprint(&r[ci]))
+                            {
+                                if let Some(ids) = map.get_mut(&fp) {
+                                    ids.retain(|x| x != id);
+                                }
+                            }
+                        }
+                        false
+                    });
                 }
+            }
+        }
+        // One version bump per touched table per committed transaction:
+        // this is what invalidates the materialization caches above.
+        for table in touched {
+            if let Some(t) = inner.tables.get_mut(&table) {
+                t.version += 1;
             }
         }
         inner.commits += 1;
@@ -647,7 +915,18 @@ impl Database {
     /// locks, changes nothing.
     pub fn rollback(&self, tx: TxId) {
         let mut inner = self.inner.lock();
-        if inner.prepared.remove(&tx).is_some() {
+        if let Some(p) = inner.prepared.remove(&tx) {
+            // Conservative: drop the secondary indexes of every table
+            // the aborted transaction *named*. The rows never changed
+            // (writes are buffered until commit), so this is purely a
+            // belt-and-braces measure — the indexes are rebuilt lazily
+            // on the next indexed select. Versions are untouched: the
+            // committed state is exactly what it was.
+            for op in &p.ops {
+                if let Some(t) = inner.tables.get_mut(op.table()) {
+                    t.indexes.clear();
+                }
+            }
             inner.aborts += 1;
         }
     }
@@ -712,6 +991,46 @@ fn key_fingerprint(key: &[SqlValue]) -> String {
     key.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
 }
 
+/// Does a committed row with primary key `key` already exist?
+///
+/// With `use_index` (the optimize mirror is on) a single-column
+/// indexable PK probes the secondary hash index — built lazily here if
+/// absent, exactly like indexed selects, and maintained incrementally
+/// by `commit` afterwards. This turns the per-insert duplicate check
+/// from O(rows) into O(1), which is the difference between O(n²) and
+/// O(n) for the paper's iterate-over-create loops (use case 3 / E3).
+/// Candidates are always re-verified against the actual key values,
+/// and multi-column, non-indexable, or NULL-bearing keys fall back to
+/// the full scan, so the answer is identical in every case.
+fn pk_dup_check(t: &mut TableData, key: &[SqlValue], use_index: bool) -> bool {
+    if use_index {
+        if let [pk_col] = &t.schema.primary_key[..] {
+            let pk_col = pk_col.clone();
+            let pk_indexable = t
+                .schema
+                .column(&pk_col)
+                .map(|c| indexable_type(c.ty))
+                .unwrap_or(false);
+            if pk_indexable {
+                if let Some(fp) = index_fingerprint(&key[0]) {
+                    let TableData { schema, rows, indexes, .. } = t;
+                    let map = indexes
+                        .entry(pk_col.clone())
+                        .or_insert_with(|| build_index(schema, rows, &pk_col));
+                    return map.get(&fp).is_some_and(|ids| {
+                        ids.iter().any(|id| {
+                            rows.binary_search_by_key(id, |(rid, _)| *rid)
+                                .map(|pos| pk_values(schema, &rows[pos].1) == key)
+                                .unwrap_or(false)
+                        })
+                    });
+                }
+            }
+        }
+    }
+    t.rows.iter().any(|(_, r)| pk_values(&t.schema, r) == key)
+}
+
 fn cond_indices(
     schema: &TableSchema,
     cond: &Condition,
@@ -728,6 +1047,44 @@ fn cond_indices(
 
 fn row_matches(row: &Row, idx: &[(usize, SqlValue)]) -> bool {
     idx.iter().all(|(i, v)| &row[*i] == v)
+}
+
+/// Column types eligible for secondary hash indexes. DECIMAL is
+/// excluded on purpose: its equality is *numeric* (manual `PartialEq`
+/// — `1.0 == 1.00`), so a lexical fingerprint would split equal values
+/// across buckets and produce false negatives. DATE/TIMESTAMP are
+/// excluded to keep fingerprints trivially canonical.
+fn indexable_type(ty: ColumnType) -> bool {
+    matches!(ty, ColumnType::Integer | ColumnType::Varchar | ColumnType::Boolean)
+}
+
+/// Canonical hash-bucket key for an indexable value. NULL returns
+/// `None` (NULL rows are not indexed; conditions on NULL fall back to
+/// a filtered scan so `NULL = NULL` matching keeps the seed
+/// semantics), as does any value of a non-indexable type.
+fn index_fingerprint(v: &SqlValue) -> Option<String> {
+    match v {
+        SqlValue::Int(i) => Some(format!("i{i}")),
+        SqlValue::Str(s) => Some(format!("s{s}")),
+        SqlValue::Bool(b) => Some(format!("b{b}")),
+        _ => None,
+    }
+}
+
+fn build_index(
+    schema: &TableSchema,
+    rows: &[(u64, Row)],
+    col: &str,
+) -> HashMap<String, Vec<u64>> {
+    let mut map: HashMap<String, Vec<u64>> = HashMap::new();
+    if let Some(ci) = schema.col_index(col) {
+        for (id, r) in rows {
+            if let Some(fp) = index_fingerprint(&r[ci]) {
+                map.entry(fp).or_default().push(*id);
+            }
+        }
+    }
+    map
 }
 
 // ---------------------------------------------------------------- 2PC
@@ -844,6 +1201,7 @@ impl TwoPhaseCoordinator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -1146,6 +1504,130 @@ mod tests {
             // No prepared garbage survives recovery.
             assert!(!db1.is_prepared(TxId(0)));
         }
+    }
+
+    #[test]
+    fn table_version_bumps_on_commit_only() {
+        let db = db_with_people();
+        let v0 = db.table_version("PEOPLE").unwrap();
+        // Reads don't bump.
+        db.scan("PEOPLE").unwrap();
+        db.select("PEOPLE", &vec![("ID".into(), SqlValue::Int(1))]).unwrap();
+        assert_eq!(db.table_version("PEOPLE").unwrap(), v0);
+        // A committed write bumps exactly once per transaction.
+        db.execute(vec![
+            WriteOp::Insert {
+                table: "PEOPLE".into(),
+                row: vec![SqlValue::Int(3), SqlValue::Str("cat".into()), SqlValue::Null],
+            },
+            WriteOp::Delete {
+                table: "PEOPLE".into(),
+                cond: vec![("ID".into(), SqlValue::Int(3))],
+                expect_rows: 0,
+            },
+        ])
+        .unwrap();
+        assert_eq!(db.table_version("PEOPLE").unwrap(), v0 + 1);
+        // A rollback does not bump.
+        let t = fresh_tx();
+        db.prepare(t, vec![people_update()]).unwrap();
+        db.rollback(t);
+        assert_eq!(db.table_version("PEOPLE").unwrap(), v0 + 1);
+    }
+
+    #[test]
+    fn scan_if_changed_skips_unchanged_tables() {
+        let db = db_with_people();
+        let (v1, rows) = db.scan_if_changed("PEOPLE", None).unwrap();
+        assert_eq!(rows.as_ref().map(Vec::len), Some(2));
+        // Same version known → no rows shipped.
+        let (v2, rows) = db.scan_if_changed("PEOPLE", Some(v1)).unwrap();
+        assert_eq!(v2, v1);
+        assert!(rows.is_none());
+        // After a write the version moves and rows come back.
+        db.insert(
+            "PEOPLE",
+            vec![SqlValue::Int(5), SqlValue::Str("eve".into()), SqlValue::Null],
+        )
+        .unwrap();
+        let (v3, rows) = db.scan_if_changed("PEOPLE", Some(v1)).unwrap();
+        assert!(v3 > v1);
+        assert_eq!(rows.map(|r| r.len()), Some(3));
+    }
+
+    #[test]
+    fn select_indexed_agrees_with_select_across_mutations() {
+        let db = db_with_people();
+        let cond_name: Condition = vec![("NAME".into(), SqlValue::Str("ann".into()))];
+        // First indexed select builds the index.
+        assert_eq!(
+            db.select_indexed("PEOPLE", &cond_name).unwrap(),
+            db.select("PEOPLE", &cond_name).unwrap()
+        );
+        assert_eq!(db.indexed_columns("PEOPLE"), vec!["NAME".to_string()]);
+        // Insert, update, delete — the index is maintained, results agree.
+        db.insert(
+            "PEOPLE",
+            vec![SqlValue::Int(3), SqlValue::Str("ann".into()), SqlValue::Int(9)],
+        )
+        .unwrap();
+        assert_eq!(db.select_indexed("PEOPLE", &cond_name).unwrap().len(), 2);
+        db.execute(vec![WriteOp::Update {
+            table: "PEOPLE".into(),
+            set: vec![("NAME".into(), SqlValue::Str("ann".into()))],
+            cond: vec![("ID".into(), SqlValue::Int(2))],
+            expect_rows: 1,
+        }])
+        .unwrap();
+        assert_eq!(
+            db.select_indexed("PEOPLE", &cond_name).unwrap(),
+            db.select("PEOPLE", &cond_name).unwrap()
+        );
+        assert_eq!(db.select_indexed("PEOPLE", &cond_name).unwrap().len(), 3);
+        db.execute(vec![WriteOp::Delete {
+            table: "PEOPLE".into(),
+            cond: vec![("ID".into(), SqlValue::Int(3))],
+            expect_rows: 1,
+        }])
+        .unwrap();
+        assert_eq!(
+            db.select_indexed("PEOPLE", &cond_name).unwrap(),
+            db.select("PEOPLE", &cond_name).unwrap()
+        );
+        // Multi-column condition: index probes one column, the full
+        // condition re-verifies.
+        let multi = vec![
+            ("NAME".into(), SqlValue::Str("ann".into())),
+            ("ID".into(), SqlValue::Int(1)),
+        ];
+        assert_eq!(
+            db.select_indexed("PEOPLE", &multi).unwrap(),
+            db.select("PEOPLE", &multi).unwrap()
+        );
+        // NULL conditions fall back to the scan path and agree too.
+        let null_cond = vec![("AGE".into(), SqlValue::Null)];
+        assert_eq!(
+            db.select_indexed("PEOPLE", &null_cond).unwrap(),
+            db.select("PEOPLE", &null_cond).unwrap()
+        );
+    }
+
+    #[test]
+    fn rollback_drops_indexes_but_results_stay_correct() {
+        let db = db_with_people();
+        let cond = vec![("NAME".into(), SqlValue::Str("bob".into()))];
+        assert_eq!(db.select_indexed("PEOPLE", &cond).unwrap().len(), 1);
+        assert!(!db.indexed_columns("PEOPLE").is_empty());
+        let t = fresh_tx();
+        db.prepare(t, vec![people_update()]).unwrap();
+        db.rollback(t);
+        // Indexes dropped…
+        assert!(db.indexed_columns("PEOPLE").is_empty());
+        // …and lazily rebuilt with identical results.
+        assert_eq!(
+            db.select_indexed("PEOPLE", &cond).unwrap(),
+            db.select("PEOPLE", &cond).unwrap()
+        );
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! exptab — regenerate every table/figure of the constructed
 //! evaluation (DESIGN.md §4) and print them in row form.
 //!
-//! Usage: `cargo run --release -p xqse-bench --bin exptab [quick|full]`
+//! Usage: `cargo run --release -p xqse-bench --bin exptab [quick|full] [--json] [--out DIR]`
 //!
 //! `quick` (default) uses smaller scales so the whole suite finishes
 //! in well under a minute; `full` uses the scales recorded in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md. `--json` additionally writes one machine-readable
+//! `BENCH_<ID>.json` per experiment (to the current directory, or to
+//! `--out DIR`) — `scripts/check.sh` diffs these against the
+//! checked-in baselines to flag perf regressions.
 
+
+use std::path::PathBuf;
 
 use aldsp::decompose::OccPolicy;
 use aldsp::rel::{CrashPoint, SqlValue, TwoPhaseCoordinator, TxOutcome, WriteOp};
@@ -14,27 +19,197 @@ use xdm::qname::QName;
 use xdm::sequence::{Item, Sequence};
 use xqse_bench::*;
 
+/// Emits each experiment table to stdout and (optionally) to
+/// `BENCH_<ID>.json`.
+struct Reporter {
+    json_dir: Option<PathBuf>,
+    mode: &'static str,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Reporter {
+    fn table(&self, id: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+        print_table(title, header, rows);
+        let Some(dir) = &self.json_dir else { return };
+        let mut json = String::new();
+        json.push_str(&format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"mode\": \"{}\",\n  \"header\": [",
+            json_escape(id),
+            json_escape(title),
+            self.mode,
+        ));
+        json.push_str(
+            &header
+                .iter()
+                .map(|h| format!("\"{}\"", json_escape(h)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        json.push_str("],\n  \"rows\": [\n");
+        let body = rows
+            .iter()
+            .map(|row| {
+                format!(
+                    "    [{}]",
+                    row.iter()
+                        .map(|c| format!("\"{}\"", json_escape(c)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        json.push_str(&body);
+        json.push_str("\n  ]\n}\n");
+        let path = dir.join(format!("BENCH_{id}.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("exptab: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
 fn main() {
-    let full = std::env::args().any(|a| a == "full");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "full");
+    let mut json = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                if let Some(d) = it.next() {
+                    out_dir = PathBuf::from(d);
+                }
+            }
+            _ => {}
+        }
+    }
+    let r = Reporter {
+        json_dir: json.then_some(out_dir),
+        mode: if full { "full" } else { "quick" },
+    };
     let reps = if full { 7 } else { 3 };
-    e1_getprofile(full, reps);
-    e2_mgmtchain(full, reps);
-    e3_etl(full, reps);
-    e4_replicate(full, reps);
-    e5_decompose(full, reps);
-    e6_occ(full);
-    e7_xqueryp(full, reps);
-    e8_parser(reps);
-    e9_xa(full);
-    e10_udelete(full, reps);
-    e11_join_ablation(full, reps);
+    e1_getprofile(full, reps, &r);
+    e2_mgmtchain(full, reps, &r);
+    e3_etl(full, reps, &r);
+    e4_replicate(full, reps, &r);
+    e5_decompose(full, reps, &r);
+    e6_occ(full, &r);
+    e7_xqueryp(full, reps, &r);
+    e8_parser(reps, &r);
+    e9_xa(full, &r);
+    e10_udelete(full, reps, &r);
+    e11_join_ablation(full, reps, &r);
+    e12_pushdown(full, reps, &r);
+}
+
+/// E12 (ablation): source pushdown — repeated keyed lookups over an
+/// entity read function, three ways:
+/// - `pushdown`: optimizer on; the where-clause is rewritten to
+///   indexed point-selects answered by the source (secondary hash
+///   index probes);
+/// - `memoized`: optimizer off (the pre-pushdown baseline); the
+///   hash-join rewrite scans once per statement and probes the
+///   middle-tier index;
+/// - `fullscan`: the predicate is wrapped in `fn:string(...)` so no
+///   rewrite applies — one full scan-and-filter per key, the naive
+///   middle-tier plan.
+fn e12_pushdown(full: bool, reps: usize, r: &Reporter) {
+    let sizes: &[i64] = if full { &[1000, 5000, 10000] } else { &[200, 1000] };
+    const KEYS: usize = 20;
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let f = etl_space(n);
+        // Point lookups on the (unique) Name column, spread across the
+        // table — each key matches exactly one row.
+        let keys = (0..KEYS)
+            .map(|k| {
+                let id = 1 + k as i64 * n / KEYS as i64;
+                format!("'First{id} Last{id}'")
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let pushable = format!(
+            "fn:sum(for $d in ({keys})
+               return fn:count(for $e in ens1:EMPLOYEE()
+                               where $e/Name eq $d
+                               return $e))"
+        );
+        let opaque = format!(
+            "fn:sum(for $d in ({keys})
+               return fn:count(for $e in ens1:EMPLOYEE()
+                               where fn:string($e/Name) eq $d
+                               return $e))"
+        );
+        let nsenv = [("ens1", "ld:hr/EMPLOYEE")];
+        let run = |expr: &str| -> i64 {
+            f.space
+                .engine()
+                .eval_expr_str(expr, &nsenv)
+                .expect("eval")
+                .string_value()
+                .expect("sum")
+                .parse()
+                .expect("int")
+        };
+        // All three plans must agree on the answer.
+        f.space.engine().set_optimize(true);
+        let expect = run(&pushable);
+        assert_eq!(expect, KEYS as i64, "each key matches exactly one row");
+        assert_eq!(run(&opaque), expect);
+        f.space.engine().set_optimize(false);
+        assert_eq!(run(&pushable), expect);
+        assert_eq!(run(&opaque), expect);
+
+        f.space.engine().set_optimize(true);
+        let pushdown = median_secs(reps, || {
+            run(&pushable);
+        });
+        f.space.engine().set_optimize(false);
+        let memoized = median_secs(reps, || {
+            run(&pushable);
+        });
+        let fullscan = median_secs(reps, || {
+            run(&opaque);
+        });
+        f.space.engine().set_optimize(true);
+        rows.push(vec![
+            n.to_string(),
+            KEYS.to_string(),
+            format!("{:.2}", pushdown * 1e3),
+            format!("{:.2}", memoized * 1e3),
+            format!("{:.2}", fullscan * 1e3),
+            format!("{:.1}x", fullscan / pushdown),
+        ]);
+    }
+    r.table(
+        "E12",
+        "E12 ablation: source pushdown (indexed select) vs middle-tier join memoization vs full scan",
+        &["rows", "keys", "pushdown_ms", "memoized_ms", "fullscan_ms", "fullscan/pushdown"],
+        &rows,
+    );
 }
 
 /// E11 (ablation): the declarative-core hash-join memoization inside
 /// the platform's own read path — getProfile() with the optimizer on
 /// vs off. Isolates the optimizer's contribution from E7's engine-mode
 /// differences.
-fn e11_join_ablation(full: bool, reps: usize) {
+fn e11_join_ablation(full: bool, reps: usize, r: &Reporter) {
     let sizes: &[usize] = if full { &[50, 200, 800] } else { &[50, 200] };
     let mut rows = Vec::new();
     for &n in sizes {
@@ -45,15 +220,21 @@ fn e11_join_ablation(full: bool, reps: usize) {
                 .expect("get")
                 .len()
         };
+        // "Unoptimized" here means the full ablation: pushdown/caching
+        // off AND the hash-join rewrite itself off (the join rewrite
+        // survives the plain kill-switch, so it needs its own knob).
         d.space.engine().set_optimize(true);
+        d.space.engine().set_join_rewrite(true);
         let on = median_secs(reps, || {
             assert_eq!(run(), n);
         });
         d.space.engine().set_optimize(false);
+        d.space.engine().set_join_rewrite(false);
         let off = median_secs(reps, || {
             assert_eq!(run(), n);
         });
         d.space.engine().set_optimize(true);
+        d.space.engine().set_join_rewrite(true);
         rows.push(vec![
             n.to_string(),
             format!("{:.2}", on * 1e3),
@@ -61,7 +242,8 @@ fn e11_join_ablation(full: bool, reps: usize) {
             format!("{:.1}x", off / on),
         ]);
     }
-    print_table(
+    r.table(
+        "E11",
         "E11 ablation: join memoization in getProfile() (optimizer on vs off)",
         &["customers", "optimized_ms", "unoptimized_ms", "speedup"],
         &rows,
@@ -70,7 +252,7 @@ fn e11_join_ablation(full: bool, reps: usize) {
 
 /// E1 (Table 1): Figure-3 getProfile() integration read latency vs
 /// customer count.
-fn e1_getprofile(full: bool, reps: usize) {
+fn e1_getprofile(full: bool, reps: usize, r: &Reporter) {
     let sizes: &[usize] = if full { &[10, 100, 1000, 5000] } else { &[10, 100, 500] };
     let mut rows = Vec::new();
     for &n in sizes {
@@ -87,7 +269,8 @@ fn e1_getprofile(full: bool, reps: usize) {
             format!("{:.0}", n as f64 / secs),
         ]);
     }
-    print_table(
+    r.table(
+        "E1",
         "E1  getProfile() read integration (2 RDBs + web service)",
         &["customers", "profiles", "latency_ms", "profiles_per_s"],
         &rows,
@@ -96,7 +279,7 @@ fn e1_getprofile(full: bool, reps: usize) {
 
 /// E2 (Table 2): management chain, XQSE while vs recursive XQuery vs
 /// native Rust, by chain depth.
-fn e2_mgmtchain(full: bool, reps: usize) {
+fn e2_mgmtchain(full: bool, reps: usize, r: &Reporter) {
     let depths: &[usize] = if full { &[2, 8, 32, 64] } else { &[2, 8, 32] };
     let mut rows = Vec::new();
     for &d in depths {
@@ -122,7 +305,8 @@ fn e2_mgmtchain(full: bool, reps: usize) {
             format!("{:.2}", xq / rec),
         ]);
     }
-    print_table(
+    r.table(
+        "E2",
         "E2  management chain (use case 2): XQSE while vs recursive XQuery vs native",
         &["depth", "xqse_ms", "recursive_ms", "native_ms", "xqse/recursive"],
         &rows,
@@ -131,8 +315,9 @@ fn e2_mgmtchain(full: bool, reps: usize) {
 
 /// E3 (Table 3): ETL-lite copy throughput, XQSE iterate vs the native
 /// ("Java override") baseline.
-fn e3_etl(full: bool, reps: usize) {
-    let sizes: &[i64] = if full { &[10, 100, 1000, 5000] } else { &[10, 100, 500] };
+fn e3_etl(full: bool, reps: usize, r: &Reporter) {
+    let sizes: &[i64] =
+        if full { &[10, 100, 1000, 5000, 10000] } else { &[10, 100, 500] };
     let mut rows = Vec::new();
     for &n in sizes {
         let xqse_secs = median_secs(reps, || {
@@ -152,7 +337,8 @@ fn e3_etl(full: bool, reps: usize) {
             format!("{:.1}", xqse_secs / native_secs),
         ]);
     }
-    print_table(
+    r.table(
+        "E3",
         "E3  ETL lite (use case 3): XQSE iterate vs native baseline",
         &["rows", "xqse_ms", "xqse_rows_per_s", "native_ms", "native_rows_per_s", "slowdown"],
         &rows,
@@ -161,7 +347,7 @@ fn e3_etl(full: bool, reps: usize) {
 
 /// E4 (Table 4): replicating create — try/catch overhead and failure
 /// injection.
-fn e4_replicate(full: bool, reps: usize) {
+fn e4_replicate(full: bool, reps: usize, r: &Reporter) {
     let batch: i64 = if full { 500 } else { 100 };
     let with = median_secs(reps, || {
         let f = replicate_space(true);
@@ -202,7 +388,8 @@ fn e4_replicate(full: bool, reps: usize) {
             "SECONDARY_CREATE_FAILURE".into(),
         ]);
     }
-    print_table(
+    r.table(
+        "E4",
         "E4  replicating create (use case 4): try/catch overhead + failure injection",
         &["batch", "inject", "with_handlers_ms", "no_handlers_ms", "overhead/outcome"],
         &rows,
@@ -210,7 +397,7 @@ fn e4_replicate(full: bool, reps: usize) {
 }
 
 /// E5 (Table 5): decomposition scaling — changed fields and fan-out.
-fn e5_decompose(full: bool, reps: usize) {
+fn e5_decompose(full: bool, reps: usize, r: &Reporter) {
     let n = if full { 1000 } else { 200 };
     let mut rows = Vec::new();
     for (label, changes) in [
@@ -256,7 +443,8 @@ fn e5_decompose(full: bool, reps: usize) {
             format!("{:.1}", secs * 1e6),
         ]);
     }
-    print_table(
+    r.table(
+        "E5",
         "E5  update decomposition (change summary -> conditioned SQL)",
         &["scenario", "statements", "sources", "decompose_us"],
         &rows,
@@ -265,7 +453,7 @@ fn e5_decompose(full: bool, reps: usize) {
 
 /// E6 (Table 6): optimistic-concurrency policies — WHERE width, and
 /// conflict detection vs concurrent writers hitting other columns.
-fn e6_occ(full: bool) {
+fn e6_occ(full: bool, r: &Reporter) {
     let trials = if full { 200 } else { 50 };
     let mut rows = Vec::new();
     for (name, policy) in [
@@ -324,7 +512,8 @@ fn e6_occ(full: bool) {
             format!("{}/{trials}", other_detected),
         ]);
     }
-    print_table(
+    r.table(
+        "E6",
         "E6  optimistic concurrency policies (SS2 claim: \"sameness\" in WHERE)",
         &["policy", "where_width", "same_col_conflicts_detected", "other_col_conflicts_detected"],
         &rows,
@@ -333,7 +522,7 @@ fn e6_occ(full: bool) {
 
 /// E7 (Table 7): XQSE statement separation preserves declarative
 /// optimization; XQueryP sequential mode pins evaluation order.
-fn e7_xqueryp(full: bool, reps: usize) {
+fn e7_xqueryp(full: bool, reps: usize, r: &Reporter) {
     let sizes: &[usize] = if full { &[20, 100, 400, 1000] } else { &[20, 100, 300] };
     let mut rows = Vec::new();
     for &n in sizes {
@@ -354,7 +543,8 @@ fn e7_xqueryp(full: bool, reps: usize) {
             format!("{:.1}x", xp_secs / xqse_secs),
         ]);
     }
-    print_table(
+    r.table(
+        "E7",
         "E7  XQSE (optimizable declarative core) vs XQueryP sequential mode",
         &["customers", "xqse_ms", "xqueryp_ms", "xqueryp/xqse"],
         &rows,
@@ -362,7 +552,7 @@ fn e7_xqueryp(full: bool, reps: usize) {
 }
 
 /// E8 (Table 8): parser throughput over the paper's listings.
-fn e8_parser(reps: usize) {
+fn e8_parser(reps: usize, r: &Reporter) {
     let listings: &[(&str, String)] = &[
         ("hello_world", "{ return value \"Hello, World\"; }".to_string()),
         ("getProfile (Fig.3)", demo::GET_PROFILE_SRC.to_string()),
@@ -391,7 +581,8 @@ fn e8_parser(reps: usize) {
             format!("{:.1}", src.len() as f64 / secs / 1e6),
         ]);
     }
-    print_table(
+    r.table(
+        "E8",
         "E8  parser throughput (XQuery + XQSE grammar)",
         &["listing", "bytes", "parse_us", "MB_per_s"],
         &rows,
@@ -400,7 +591,7 @@ fn e8_parser(reps: usize) {
 
 /// E9 (Table 9): XA two-phase commit atomicity under coordinator
 /// crash injection.
-fn e9_xa(full: bool) {
+fn e9_xa(full: bool, r: &Reporter) {
     let trials = if full { 500 } else { 100 };
     let mut rows = Vec::new();
     for (name, crash) in [
@@ -461,7 +652,8 @@ fn e9_xa(full: bool) {
             format!("{atomic}/{trials}"),
         ]);
     }
-    print_table(
+    r.table(
+        "E9",
         "E9  XA two-phase commit with crash injection",
         &["crash point", "committed", "aborted", "atomic"],
         &rows,
@@ -470,7 +662,7 @@ fn e9_xa(full: bool) {
 
 /// E10 (Fig. C): user-defined delete via XQSE wrapper vs direct
 /// default delete, vs table size.
-fn e10_udelete(full: bool, reps: usize) {
+fn e10_udelete(full: bool, reps: usize, r: &Reporter) {
     let sizes: &[usize] = if full { &[100, 1000, 5000] } else { &[100, 500] };
     let mut rows = Vec::new();
     for &n in sizes {
@@ -527,7 +719,8 @@ declare procedure uc1:deleteByCID($cid as xs:string) as empty-sequence()
             format!("{:.2}", wrapped / direct),
         ]);
     }
-    print_table(
+    r.table(
+        "E10",
         "E10 user-defined delete (use case 1): XQSE wrapper vs direct C/U/D \
          (times include fixture build)",
         &["customers", "wrapped_ms", "direct_ms", "wrapped/direct"],

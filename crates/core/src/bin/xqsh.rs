@@ -1,12 +1,16 @@
 //! xqsh — a small driver for XQSE programs.
 //!
 //! Usage:
-//!   xqsh <file.xqse> [--trace] [--xqueryp] [--doc URI=FILE]...
+//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--doc URI=FILE]...
 //!   echo '{ return value 1 + 1; }' | xqsh -
 //!
 //! Runs the module (expression or block body) and prints the
 //! serialized result. `--trace` also prints `fn:trace` output;
 //! `--xqueryp` executes in XQueryP sequential mode (the §IV baseline);
+//! `--explain` prints the optimizer's hit/miss/invalidation counters
+//! (join cache, materialization cache, pushdown rewrites) to stderr
+//! after the run; `--no-opt` disables the pushdown/caching layer
+//! (equivalent to XQSE_DISABLE_OPT=1);
 //! `--doc` registers an XML file so `fn:doc("URI")` resolves.
 
 use std::io::Read;
@@ -19,7 +23,7 @@ use xqse::Xqse;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xqsh <file.xqse | -> [--trace] [--xqueryp] [--doc URI=FILE]..."
+        "usage: xqsh <file.xqse | -> [--trace] [--xqueryp] [--explain] [--no-opt] [--doc URI=FILE]..."
     );
     ExitCode::from(2)
 }
@@ -29,12 +33,16 @@ fn main() -> ExitCode {
     let mut source_arg: Option<String> = None;
     let mut trace = false;
     let mut sequential = false;
+    let mut explain = false;
+    let mut no_opt = false;
     let mut docs: Vec<(String, String)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = true,
             "--xqueryp" => sequential = true,
+            "--explain" => explain = true,
+            "--no-opt" => no_opt = true,
             "--doc" => match it.next().and_then(|d| {
                 d.split_once('=').map(|(u, f)| (u.to_string(), f.to_string()))
             }) {
@@ -66,6 +74,9 @@ fn main() -> ExitCode {
     };
 
     let engine = Rc::new(Engine::new());
+    if no_opt {
+        engine.set_optimize(false);
+    }
     for (uri, file) in docs {
         let xml = match std::fs::read_to_string(&file) {
             Ok(s) => s,
@@ -85,16 +96,32 @@ fn main() -> ExitCode {
 
     let mut env = Env::new();
     let result = if sequential {
-        let xp = XqueryP::with_engine(engine);
+        let xp = XqueryP::with_engine(engine.clone());
         xp.run_with_env(&src, &mut env)
     } else {
-        let xqse = Xqse::with_engine(engine);
+        let xqse = Xqse::with_engine(engine.clone());
         xqse.run_with_env(&src, &mut env)
     };
     if trace {
         for line in env.trace_messages() {
             eprintln!("trace: {line}");
         }
+    }
+    if explain {
+        let s = engine.opt_stats();
+        eprintln!("explain: optimize = {}", engine.optimize_enabled());
+        eprintln!(
+            "explain: join cache     hits={} misses={} invalidations={}",
+            s.join_hits, s.join_misses, s.join_invalidations
+        );
+        eprintln!(
+            "explain: mat cache      hits={} misses={} invalidations={}",
+            s.mat_hits, s.mat_misses, s.mat_invalidations
+        );
+        eprintln!(
+            "explain: pushdown       rewrites={} indexed-selects={}",
+            s.pushdown_rewrites, s.indexed_selects
+        );
     }
     match result {
         Ok(seq) => {

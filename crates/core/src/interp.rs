@@ -348,9 +348,12 @@ fn exec_update_like(engine: &Engine, expr: &Expr, env: &mut Env) -> XdmResult<()
     let had_updates = !pul.is_empty();
     pul.apply()?;
     if had_updates {
-        // Source data may have changed: memoized join indexes are
-        // stale.
+        // Node-level updates may have mutated trees that memoized join
+        // indexes and materialized XDM snapshots *share* — the heavy
+        // hammer is correct here: drop everything and advance the
+        // write epoch.
         env.invalidate_caches();
+        engine.invalidate_materialization();
     }
     Ok(())
 }
@@ -418,14 +421,19 @@ pub fn call_procedure_stmt(
         Some(ProcKind::User(decl)) => {
             let out = exec_procedure(engine, &decl, args, env);
             if !decl.readonly {
-                env.invalidate_caches();
+                // The procedure may have written *some* source, but it
+                // cannot have mutated already-materialized trees (its
+                // effects land through source procedures, not PUL node
+                // edits). Bump the write epoch only: version-stamped
+                // cache entries over sources it did not touch survive.
+                env.note_write();
             }
             out
         }
         Some(ProcKind::External { f, readonly }) => {
             let out = f(env, args);
             if !readonly {
-                env.invalidate_caches();
+                env.note_write();
             }
             out
         }

@@ -852,11 +852,17 @@ fn xqueryp_block_concatenates_statement_values() {
 #[test]
 fn xqueryp_disables_optimizer_during_run() {
     let engine = Rc::new(xqeval::Engine::new());
+    // Pin the starting state: Engine::new honors XQSE_DISABLE_OPT, and
+    // this test must pass in both CI modes.
+    engine.set_optimize(true);
     assert!(engine.optimize_enabled());
+    assert!(engine.join_rewrite_enabled());
     let xp = XqueryP::with_engine(engine.clone());
     xp.run("{ 1; }").unwrap();
-    // Restored afterwards.
+    // Restored afterwards — both the pushdown/caching kill-switch and
+    // the hash-join rewrite knob (sequential mode disables both).
     assert!(engine.optimize_enabled());
+    assert!(engine.join_rewrite_enabled());
 }
 
 #[test]

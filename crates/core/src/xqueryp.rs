@@ -66,8 +66,15 @@ impl XqueryP {
 
     /// [`XqueryP::run`] with a caller-provided context.
     pub fn run_with_env(&self, src: &str, env: &mut Env) -> XdmResult<Sequence> {
+        // Sequential mode pins the evaluation order: both the
+        // pushdown/caching layer AND the hash-join memoization that
+        // XQSE applies inside declarative cores are switched off for
+        // the whole program — the E7 experiment measures the
+        // resulting gap.
         let was_opt = self.engine.optimize_enabled();
+        let was_join = self.engine.join_rewrite_enabled();
         self.engine.set_optimize(false);
+        self.engine.set_join_rewrite(false);
         let result = (|| {
             let module = self.engine.load(src)?;
             match &module.body {
@@ -79,6 +86,7 @@ impl XqueryP {
             }
         })();
         self.engine.set_optimize(was_opt);
+        self.engine.set_join_rewrite(was_join);
         result
     }
 

@@ -7,6 +7,7 @@
 //! value** used by `where`, `if`, `while`, and friends.
 
 use std::fmt;
+use std::rc::Rc;
 
 use crate::atomic::AtomicValue;
 use crate::error::{ErrorCode, XdmError, XdmResult};
@@ -88,25 +89,33 @@ impl fmt::Display for Item {
 }
 
 /// A flat, ordered sequence of items — the universal value type.
+///
+/// Internally reference-counted with copy-on-write mutation: `clone`
+/// is O(1) (an `Rc` bump), and the binding-heavy FLWOR/variable paths
+/// of the evaluator — which clone sequences on every tuple — share one
+/// buffer until somebody actually mutates. [`Sequence::push`] /
+/// [`Sequence::extend`] use [`Rc::make_mut`], so a uniquely-owned
+/// sequence mutates in place exactly as the plain-`Vec` representation
+/// did.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Sequence {
-    items: Vec<Item>,
+    items: Rc<Vec<Item>>,
 }
 
 impl Sequence {
     /// The empty sequence.
     pub fn empty() -> Sequence {
-        Sequence { items: Vec::new() }
+        Sequence { items: Rc::new(Vec::new()) }
     }
 
     /// A singleton sequence.
     pub fn one(item: Item) -> Sequence {
-        Sequence { items: vec![item] }
+        Sequence { items: Rc::new(vec![item]) }
     }
 
     /// Build from a vector of items.
     pub fn from_items(items: Vec<Item>) -> Sequence {
-        Sequence { items }
+        Sequence { items: Rc::new(items) }
     }
 
     /// Number of items.
@@ -124,9 +133,10 @@ impl Sequence {
         &self.items
     }
 
-    /// Consume into the underlying vector.
+    /// Consume into the underlying vector (no copy when this handle is
+    /// the sole owner).
     pub fn into_items(self) -> Vec<Item> {
-        self.items
+        Rc::try_unwrap(self.items).unwrap_or_else(|rc| (*rc).clone())
     }
 
     /// Iterate over items.
@@ -136,17 +146,27 @@ impl Sequence {
 
     /// Append another sequence (flattening concatenation).
     pub fn extend(&mut self, other: Sequence) {
-        self.items.extend(other.items);
+        if self.items.is_empty() {
+            // Adopt the other buffer wholesale — the common "start
+            // from empty, append one result" accumulation pattern
+            // stays allocation-free.
+            self.items = other.items;
+            return;
+        }
+        if other.items.is_empty() {
+            return;
+        }
+        Rc::make_mut(&mut self.items).extend(other.into_items());
     }
 
     /// Push a single item.
     pub fn push(&mut self, item: Item) {
-        self.items.push(item);
+        Rc::make_mut(&mut self.items).push(item);
     }
 
     /// Concatenate two sequences.
     pub fn concat(mut self, other: Sequence) -> Sequence {
-        self.items.extend(other.items);
+        self.extend(other);
         self
     }
 
@@ -213,7 +233,7 @@ impl Sequence {
     /// sequence contains non-node items.
     pub fn document_order_dedup(self) -> XdmResult<Sequence> {
         let mut nodes: Vec<NodeHandle> = Vec::with_capacity(self.items.len());
-        for it in self.items {
+        for it in self.into_items() {
             match it {
                 Item::Node(n) => nodes.push(n),
                 Item::Atomic(a) => {
@@ -229,9 +249,9 @@ impl Sequence {
         }
         nodes.sort_by(|a, b| a.document_order(b));
         nodes.dedup();
-        Ok(Sequence {
-            items: nodes.into_iter().map(Item::Node).collect(),
-        })
+        Ok(Sequence::from_items(
+            nodes.into_iter().map(Item::Node).collect(),
+        ))
     }
 }
 
@@ -249,7 +269,7 @@ impl From<Vec<Item>> for Sequence {
 
 impl FromIterator<Item> for Sequence {
     fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Sequence {
-        Sequence { items: iter.into_iter().collect() }
+        Sequence::from_items(iter.into_iter().collect())
     }
 }
 
@@ -257,7 +277,7 @@ impl IntoIterator for Sequence {
     type Item = Item;
     type IntoIter = std::vec::IntoIter<Item>;
     fn into_iter(self) -> Self::IntoIter {
-        self.items.into_iter()
+        self.into_items().into_iter()
     }
 }
 

@@ -40,10 +40,20 @@ pub struct Env {
     /// The `fn:trace` sink, shared so callers can inspect it.
     pub trace: Rc<RefCell<Vec<String>>>,
     /// Memoized hash-join indexes, keyed by (source-expression
-    /// address, key-path fingerprint). Valid for the duration of one
-    /// expression/statement evaluation — the XQSE engine clears it at
-    /// every side-effecting statement boundary.
+    /// address, key-path fingerprint). Entries are *version-stamped*
+    /// (see [`crate::eval::CacheStamp`]): an entry over a
+    /// capability-bearing source revalidates against the source's
+    /// table version, and an entry over an opaque source against
+    /// [`Env::write_epoch`] — so statements that did not write the
+    /// underlying source keep their indexes across statement
+    /// boundaries.
     pub join_cache: HashMap<(usize, u64), Rc<crate::eval::JoinCacheEntry>>,
+    /// Bumped by the XQSE engine whenever a statement *may* have
+    /// produced side effects whose extent it cannot attribute to a
+    /// specific source (procedure calls, web-service submissions).
+    /// Epoch-stamped join-cache entries from earlier statements then
+    /// fail revalidation.
+    pub write_epoch: u64,
 }
 
 struct Frame {
@@ -74,14 +84,26 @@ impl Env {
             pul: None,
             trace: Rc::new(RefCell::new(Vec::new())),
             join_cache: HashMap::new(),
+            write_epoch: 0,
         }
     }
 
-    /// Drop memoized join indexes — the XQSE engine calls this at
-    /// every side-effecting statement boundary so stale source data is
-    /// never served from the cache.
+    /// Drop every memoized join index *and* advance the write epoch —
+    /// the heavy hammer for statements whose effects the engine cannot
+    /// attribute (node-level updates may have mutated trees the cached
+    /// indexes share).
     pub fn invalidate_caches(&mut self) {
         self.join_cache.clear();
+        self.write_epoch += 1;
+    }
+
+    /// Record that a statement may have written *some* source without
+    /// mutating already-materialized trees (external procedure calls).
+    /// Epoch-stamped cache entries stop revalidating; version-stamped
+    /// entries over sources the statement did not touch survive — this
+    /// is the precise cross-statement retention of ISSUE 2.
+    pub fn note_write(&mut self) {
+        self.write_epoch += 1;
     }
 
     /// Push a read-only (expression) scope.

@@ -8,9 +8,15 @@
 //! … automatically provided … as a callable means to modify relational
 //! source data" of §III.A.
 
+// The optimizer surface (capabilities, counters, cache handles) must
+// degrade via Results, never panic: enforced at lint level.
+#![deny(clippy::unwrap_used)]
+
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use xdm::datetime::DateTime;
 use xdm::error::{ErrorCode, XdmError, XdmResult};
@@ -49,6 +55,105 @@ pub enum FunctionKind {
     },
 }
 
+/// Value classes a pushdown-capable source column accepts, mirroring
+/// the indexable column types of the relational simulator. The FLWOR
+/// rewrite uses this to decide whether a comparison key can be pushed
+/// without changing XQuery comparison semantics (false negatives are
+/// forbidden; candidates are always re-verified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColClass {
+    /// Integral numeric column: numeric and untyped keys with an
+    /// integral value are pushable.
+    Integer,
+    /// String column: string/untyped keys are pushable.
+    String,
+    /// Boolean column: boolean keys are pushable.
+    Boolean,
+}
+
+/// Indexed point-select implementation: `(env, column, canonical key
+/// lexical)` → matching rows as XDM elements.
+pub type SourceSelectFn = Rc<dyn Fn(&mut Env, &str, &str) -> XdmResult<Sequence>>;
+
+/// A filterable-source capability advertised for a registered arity-0
+/// read function (§II.B "pushing computation to the sources"): the
+/// mediator may replace `for $r in src() where $r/COL eq K return …`
+/// with a call to `select`, which answers from the source's own
+/// access paths (secondary indexes) instead of materializing the
+/// whole table and filtering in the middle tier.
+#[derive(Clone)]
+pub struct SourceCapability {
+    /// Columns the source can filter on, with their value class.
+    pub columns: Vec<(String, ColClass)>,
+    /// Indexed point-select: `(column, canonical key lexical)` →
+    /// matching rows as XDM elements (same shape as the read function
+    /// returns).
+    pub select: SourceSelectFn,
+    /// *Live* monotonic version of the underlying table (catalog
+    /// metadata, never fault-injected) — caches validate against it.
+    pub version: Rc<dyn Fn() -> u64>,
+    /// Version of the snapshot the read function most recently
+    /// *served*. Normally equals `version`; under breaker-open stale
+    /// degradation it is the older snapshot version, so cache entries
+    /// built from stale data are stamped stale and never revalidate.
+    pub served_version: Rc<dyn Fn() -> u64>,
+}
+
+/// Optimizer observability: hit/miss/invalidation counters for the
+/// join cache, the XDM materialization cache, and pushdown rewrites.
+/// Cheap interior-mutability counters, snapshot via
+/// [`Engine::opt_stats`], printed by `xqsh --explain`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OptStats {
+    /// Join-cache hits (memoized index reused).
+    pub join_hits: u64,
+    /// Join-cache misses (index built).
+    pub join_misses: u64,
+    /// Join-cache entries discarded as stale (version/epoch moved).
+    pub join_invalidations: u64,
+    /// Materialization-cache hits (XDM tree reused).
+    pub mat_hits: u64,
+    /// Materialization-cache misses (tree rebuilt).
+    pub mat_misses: u64,
+    /// Materialization-cache flushes forced by update statements.
+    pub mat_invalidations: u64,
+    /// FLWOR where-clauses rewritten to source point-selects.
+    pub pushdown_rewrites: u64,
+    /// Optimize-gated reads answered via a secondary index.
+    pub indexed_selects: u64,
+}
+
+/// Live (interior-mutability) counter block behind [`OptStats`].
+/// Shared with the evaluator and with host source closures (the
+/// introspected read functions count materialization hits/misses and
+/// indexed selects through it).
+#[derive(Default)]
+pub struct OptCounters {
+    /// See [`OptStats::join_hits`].
+    pub join_hits: Cell<u64>,
+    /// See [`OptStats::join_misses`].
+    pub join_misses: Cell<u64>,
+    /// See [`OptStats::join_invalidations`].
+    pub join_invalidations: Cell<u64>,
+    /// See [`OptStats::mat_hits`].
+    pub mat_hits: Cell<u64>,
+    /// See [`OptStats::mat_misses`].
+    pub mat_misses: Cell<u64>,
+    /// See [`OptStats::mat_invalidations`].
+    pub mat_invalidations: Cell<u64>,
+    /// See [`OptStats::pushdown_rewrites`].
+    pub pushdown_rewrites: Cell<u64>,
+    /// See [`OptStats::indexed_selects`].
+    pub indexed_selects: Cell<u64>,
+}
+
+impl OptCounters {
+    /// Add one to a counter cell (convenience for closure call sites).
+    pub fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+}
+
 /// A registered procedure implementation.
 #[derive(Clone)]
 pub enum ProcKind {
@@ -73,11 +178,34 @@ pub struct Engine {
     /// Fixed "current" instant for fn:current-date/dateTime —
     /// deterministic by design (tests and reproducible benchmarks).
     now: Cell<DateTime>,
-    /// Enable declarative-core optimizations (hash-join memoization).
-    /// The XQueryP-comparison experiments switch this off to model
-    /// sequential-mode evaluation, where reordering is not permitted
-    /// (paper §IV).
-    optimize: Cell<bool>,
+    /// Enable declarative-core optimizations (hash-join memoization,
+    /// predicate pushdown, materialization caching). Shared (`Rc`) so
+    /// source closures registered at introspection time observe
+    /// toggles live. The XQueryP-comparison experiments switch this
+    /// off to model sequential-mode evaluation, where reordering is
+    /// not permitted (paper §IV).
+    optimize: Rc<Cell<bool>>,
+    /// Whether the FLWOR hash-join rewrite is available. Separate from
+    /// [`Engine::optimize`]: the join rewrite predates the
+    /// pushdown/versioning layer, so the kill-switch
+    /// (`set_optimize(false)`) keeps it — that restores exactly the
+    /// pre-optimizer baseline. Sequential (XQueryP) evaluation and the
+    /// E11 join ablation disable it explicitly.
+    join_rewrite: Rc<Cell<bool>>,
+    /// Thread-shareable mirrors of the optimize flag. Source layers
+    /// that live behind `Arc` (the relational simulator's write path)
+    /// register an `Arc<AtomicBool>` here; `set_optimize` fans out to
+    /// them so optimize-gated fast paths on the storage side follow
+    /// the engine toggle.
+    opt_mirrors: RefCell<Vec<Arc<AtomicBool>>>,
+    /// Pushdown capabilities by arity-0 read-function name.
+    capabilities: RefCell<HashMap<QName, SourceCapability>>,
+    /// Flush hooks for per-source materialization caches; invoked by
+    /// [`Engine::invalidate_materialization`] when an update statement
+    /// may have mutated cached trees in place.
+    mat_flushers: RefCell<Vec<Rc<dyn Fn()>>>,
+    /// Optimizer counters.
+    opt: Rc<OptCounters>,
 }
 
 impl Default for Engine {
@@ -98,7 +226,19 @@ impl Engine {
             now: Cell::new(
                 DateTime::parse("2007-12-07T10:30:00").expect("valid literal"),
             ),
-            optimize: Cell::new(true),
+            // `XQSE_DISABLE_OPT=1` starts every engine in sequential
+            // mode — the dual-mode CI runs use it to prove the whole
+            // suite passes without the optimizer.
+            optimize: Rc::new(Cell::new(
+                !matches!(std::env::var("XQSE_DISABLE_OPT").as_deref(), Ok("1")),
+            )),
+            // Deliberately NOT env-gated: the kill-switch restores the
+            // pre-optimizer baseline, which had the join rewrite.
+            join_rewrite: Rc::new(Cell::new(true)),
+            opt_mirrors: RefCell::new(Vec::new()),
+            capabilities: RefCell::new(HashMap::new()),
+            mat_flushers: RefCell::new(Vec::new()),
+            opt: Rc::new(OptCounters::default()),
         }
     }
 
@@ -174,9 +314,107 @@ impl Engine {
     }
 
     /// Toggle declarative optimizations (the XQueryP sequential-mode
-    /// comparison disables them).
+    /// comparison disables them). This is the kill-switch for the
+    /// whole performance layer: join memoization, predicate pushdown,
+    /// indexed selects, and materialization caching all key off it.
     pub fn set_optimize(&self, on: bool) {
         self.optimize.set(on);
+        for m in self.opt_mirrors.borrow().iter() {
+            m.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// A shared handle on the optimize flag. Source closures capture
+    /// this at introspection time so `set_optimize` toggles their
+    /// fast paths live.
+    pub fn optimize_handle(&self) -> Rc<Cell<bool>> {
+        self.optimize.clone()
+    }
+
+    /// Register a thread-shareable mirror of the optimize flag (for
+    /// `Arc`-held storage layers whose fast paths must follow
+    /// [`Engine::set_optimize`]). The mirror is synchronized to the
+    /// current flag value immediately.
+    pub fn register_opt_mirror(&self, mirror: Arc<AtomicBool>) {
+        mirror.store(self.optimize.get(), Ordering::Relaxed);
+        self.opt_mirrors.borrow_mut().push(mirror);
+    }
+
+    /// Whether the FLWOR hash-join rewrite is available (default: yes,
+    /// even with `set_optimize(false)` — the rewrite is part of the
+    /// pre-optimizer baseline).
+    pub fn join_rewrite_enabled(&self) -> bool {
+        self.join_rewrite.get()
+    }
+
+    /// Toggle the hash-join rewrite independently of the optimizer
+    /// kill-switch. Sequential (XQueryP) program runs disable it —
+    /// reordering is not permitted in sequential mode (paper §IV) —
+    /// and the E11 ablation uses it to isolate the join memoization's
+    /// contribution.
+    pub fn set_join_rewrite(&self, on: bool) {
+        self.join_rewrite.set(on);
+    }
+
+    /// Advertise a pushdown capability for a registered arity-0 read
+    /// function.
+    pub fn register_source_capability(&self, name: QName, cap: SourceCapability) {
+        self.capabilities.borrow_mut().insert(name, cap);
+    }
+
+    /// The pushdown capability of a read function, if advertised.
+    pub fn source_capability(&self, name: &QName) -> Option<SourceCapability> {
+        self.capabilities.borrow().get(name).cloned()
+    }
+
+    /// Register a hook that flushes a per-source materialization
+    /// cache.
+    pub fn register_mat_flusher(&self, f: Rc<dyn Fn()>) {
+        self.mat_flushers.borrow_mut().push(f);
+    }
+
+    /// Flush every registered materialization cache and count one
+    /// invalidation per flusher. Called by the statement engine after
+    /// update statements, whose pending-update lists may mutate nodes
+    /// that cached trees share.
+    pub fn invalidate_materialization(&self) {
+        for f in self.mat_flushers.borrow().iter() {
+            f();
+        }
+        let n = self.mat_flushers.borrow().len() as u64;
+        self.opt.mat_invalidations.set(self.opt.mat_invalidations.get() + n);
+    }
+
+    /// Snapshot of the optimizer counters.
+    pub fn opt_stats(&self) -> OptStats {
+        OptStats {
+            join_hits: self.opt.join_hits.get(),
+            join_misses: self.opt.join_misses.get(),
+            join_invalidations: self.opt.join_invalidations.get(),
+            mat_hits: self.opt.mat_hits.get(),
+            mat_misses: self.opt.mat_misses.get(),
+            mat_invalidations: self.opt.mat_invalidations.get(),
+            pushdown_rewrites: self.opt.pushdown_rewrites.get(),
+            indexed_selects: self.opt.indexed_selects.get(),
+        }
+    }
+
+    /// Reset the optimizer counters (benchmarks isolate phases).
+    pub fn reset_opt_stats(&self) {
+        let o = &self.opt;
+        o.join_hits.set(0);
+        o.join_misses.set(0);
+        o.join_invalidations.set(0);
+        o.mat_hits.set(0);
+        o.mat_misses.set(0);
+        o.mat_invalidations.set(0);
+        o.pushdown_rewrites.set(0);
+        o.indexed_selects.set(0);
+    }
+
+    /// Shared counter block for the evaluator and source closures.
+    pub fn opt_counters(&self) -> Rc<OptCounters> {
+        self.opt.clone()
     }
 
     /// Look up a function by expanded name and arity.

@@ -119,8 +119,45 @@ impl JoinIdx {
     }
 }
 
-/// The cache entry: materialized source + index.
-pub type JoinCacheEntry = (Sequence, JoinIdx);
+/// How a memoized join-cache entry proves it is still current
+/// (tentpole part 3: precise cross-statement cache retention).
+pub enum CacheStamp {
+    /// The source expression is opaque: the entry is valid only while
+    /// the environment's write epoch is unchanged (any side-effecting
+    /// statement kills it — the seed behavior, made lazy).
+    Epoch(u64),
+    /// The source is a capability-bearing read function: the entry is
+    /// valid while the *live* table version still equals the version
+    /// of the snapshot the index was built over. Statements that write
+    /// other sources leave it untouched; a write to this source (or a
+    /// stale snapshot served during an outage) fails revalidation.
+    Source {
+        /// Live-version probe (catalog metadata; cheap, never faulted).
+        version_fn: Rc<dyn Fn() -> u64>,
+        /// Version of the materialized snapshot.
+        version: u64,
+    },
+}
+
+impl CacheStamp {
+    fn is_current(&self, env: &Env) -> bool {
+        match self {
+            CacheStamp::Epoch(e) => *e == env.write_epoch,
+            CacheStamp::Source { version_fn, version } => version_fn() == *version,
+        }
+    }
+}
+
+/// The cache entry: materialized source + index + validity stamp.
+pub struct JoinCacheEntry {
+    /// The materialized source sequence.
+    pub seq: Sequence,
+    /// The hash index over the key path.
+    pub idx: JoinIdx,
+    /// Revalidation stamp.
+    pub stamp: CacheStamp,
+}
+
 type JoinIndex = JoinCacheEntry;
 
 impl<'e> Evaluator<'e> {
@@ -614,9 +651,105 @@ impl<'e> Evaluator<'e> {
         while i < clauses.len() {
             match &clauses[i] {
                 FlworClause::For { var, pos, source } => {
+                    // Predicate pushdown (§II.B "push computation to
+                    // the sources"): `for $v in src() where $v/COL eq K`
+                    // over a capability-bearing source becomes one
+                    // indexed point-select per outer tuple — the whole
+                    // table is never materialized in the middle tier.
+                    if self.engine.optimize_enabled() && pos.is_none() {
+                        if let Some(pd) =
+                            self.detect_pushdown(var, source, clauses.get(i + 1))
+                        {
+                            // Every outer key must be a pushable
+                            // singleton; otherwise the rewrite is
+                            // abandoned wholesale so normal evaluation
+                            // preserves error semantics exactly.
+                            let mut keys: Vec<(AtomicValue, String)> =
+                                Vec::with_capacity(tuples.len());
+                            let mut pushable = true;
+                            for tuple in &tuples {
+                                let k = with_tuple(self, env, tuple, pd.key_expr)?;
+                                let atoms = k.atomized();
+                                let lex = match &atoms[..] {
+                                    [a] => pushdown_key(pd.class, a),
+                                    _ => None,
+                                };
+                                match lex {
+                                    Some(lex) => {
+                                        let a = atoms
+                                            .into_iter()
+                                            .next()
+                                            .expect("singleton checked");
+                                        keys.push((a, lex));
+                                    }
+                                    None => {
+                                        pushable = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if pushable {
+                                let opt = self.engine.opt_counters();
+                                crate::engine::OptCounters::bump(
+                                    &opt.pushdown_rewrites,
+                                );
+                                let mut next = Vec::new();
+                                for (tuple, (key_atom, lex)) in
+                                    tuples.iter().zip(&keys)
+                                {
+                                    let candidates =
+                                        (pd.cap.select)(env, &pd.col, lex)?;
+                                    for item in candidates.iter() {
+                                        // Re-verify each candidate under
+                                        // XQuery comparison semantics:
+                                        // the index may only narrow,
+                                        // never decide.
+                                        let keyed = self.eval_steps_from(
+                                            item.clone(),
+                                            &pd.key_steps,
+                                            env,
+                                        )?;
+                                        let mut hit = false;
+                                        for a in keyed.atomized().iter() {
+                                            if general_pair_matches(
+                                                GeneralComp::Eq,
+                                                a,
+                                                key_atom,
+                                            )? {
+                                                hit = true;
+                                                break;
+                                            }
+                                        }
+                                        if hit {
+                                            let mut t = tuple.clone();
+                                            t.push((
+                                                var.clone(),
+                                                Sequence::one(item.clone()),
+                                            ));
+                                            next.push(t);
+                                        }
+                                    }
+                                }
+                                tuples = next;
+                                i += 2; // consumed the Where too
+                                continue;
+                            }
+                        }
+                    }
                     // Hash-join rewrite: `for $v in E where key($v) eq K`
                     // with E independent of all in-scope variables.
-                    let join = if self.engine.optimize_enabled() && pos.is_none() {
+                    // Gated on `join_rewrite_enabled`, NOT on
+                    // `optimize_enabled`: the rewrite predates the
+                    // pushdown/versioning layer, and the kill-switch
+                    // must restore exactly that baseline. (With
+                    // optimization off, entries are epoch-stamped
+                    // below, so invalidation is the baseline's blanket
+                    // any-write policy.) Sequential XQueryP runs and
+                    // the E11 ablation turn the rewrite itself off via
+                    // `Engine::set_join_rewrite(false)`.
+                    let join = if pos.is_none()
+                        && self.engine.join_rewrite_enabled()
+                    {
                         self.detect_join(var, source, clauses.get(i + 1))
                     } else {
                         None
@@ -632,11 +765,11 @@ impl<'e> Evaluator<'e> {
                             if atoms.len() != 1 {
                                 continue;
                             }
-                            for idx in index.1.probe(&atoms[0]) {
+                            for idx in index.idx.probe(&atoms[0]) {
                                 let mut t = tuple.clone();
                                 t.push((
                                     var.clone(),
-                                    Sequence::one(index.0.items()[idx].clone()),
+                                    Sequence::one(index.seq.items()[idx].clone()),
                                 ));
                                 next.push(t);
                             }
@@ -783,19 +916,119 @@ impl<'e> Evaluator<'e> {
         None
     }
 
+    /// Detect the *pushdown* pattern `for $v in src() where $v/COL
+    /// (eq|=) K` where `src` is an arity-0 read function with an
+    /// advertised [`SourceCapability`], `COL` is one of its filterable
+    /// columns (single child step, no predicates, unqualified name —
+    /// the shape of relational row XML), and `K` does not reference
+    /// `$v`.
+    fn detect_pushdown<'a>(
+        &self,
+        var: &QName,
+        source: &Expr,
+        next: Option<&'a FlworClause>,
+    ) -> Option<Pushdown<'a>> {
+        let Expr::FunctionCall { name, args } = source else { return None };
+        if !args.is_empty() {
+            return None;
+        }
+        let cap = self.engine.source_capability(name)?;
+        let FlworClause::Where(cond) = next? else { return None };
+        let (l, r) = match cond {
+            Expr::Value(ValueComp::Eq, l, r) => (&**l, &**r),
+            Expr::General(GeneralComp::Eq, l, r) => (&**l, &**r),
+            _ => return None,
+        };
+        let col_of = |e: &Expr| -> Option<(String, Vec<Step>)> {
+            let Expr::Path { start: PathStart::Expr(base), steps } = e else {
+                return None;
+            };
+            let Expr::VarRef(v) = &**base else { return None };
+            if v != var || steps.len() != 1 {
+                return None;
+            }
+            let st = &steps[0];
+            if st.axis != Axis::Child || !st.predicates.is_empty() {
+                return None;
+            }
+            let NodeTest::Name(q) = &st.test else { return None };
+            if q.ns.is_some() {
+                return None;
+            }
+            Some((q.local.clone(), steps.clone()))
+        };
+        let build = |col: String, steps: Vec<Step>, key: &'a Expr| -> Option<Pushdown<'a>> {
+            if expr_refs_var(key, var) {
+                return None;
+            }
+            let class = cap
+                .columns
+                .iter()
+                .find(|(c, _)| c == &col)
+                .map(|(_, cl)| *cl)?;
+            Some(Pushdown { cap: cap.clone(), col, class, key_steps: steps, key_expr: key })
+        };
+        if let Some((col, steps)) = col_of(l) {
+            if let Some(pd) = build(col, steps, r) {
+                return Some(pd);
+            }
+        }
+        if let Some((col, steps)) = col_of(r) {
+            if let Some(pd) = build(col, steps, l) {
+                return Some(pd);
+            }
+        }
+        None
+    }
+
     /// Build (or fetch from the per-evaluation cache) a hash index
-    /// over the join source keyed by the key path.
+    /// over the join source keyed by the key path. Cached entries are
+    /// revalidated against their [`CacheStamp`]; stale entries are
+    /// discarded and rebuilt.
     fn join_index(
         &self,
         source: &Expr,
         key_steps: &[Step],
         env: &mut Env,
     ) -> XdmResult<Rc<JoinIndex>> {
+        let opt = self.engine.opt_counters();
         let cache_key = (source as *const Expr as usize, steps_fingerprint(key_steps));
-        if let Some(hit) = env_join_cache(env).get(&cache_key) {
-            return Ok(hit.clone());
+        if let Some(hit) = env_join_cache(env).get(&cache_key).cloned() {
+            if hit.stamp.is_current(env) {
+                crate::engine::OptCounters::bump(&opt.join_hits);
+                return Ok(hit);
+            }
+            crate::engine::OptCounters::bump(&opt.join_invalidations);
+            env_join_cache(env).remove(&cache_key);
         }
+        crate::engine::OptCounters::bump(&opt.join_misses);
+        // Capability-bearing arity-0 read functions get a precise
+        // source-version stamp; anything else falls back to the
+        // write-epoch stamp. With the optimizer off, *everything* is
+        // epoch-stamped — any write then invalidates, which is the
+        // baseline's blanket policy.
+        let cap = if self.engine.optimize_enabled() {
+            match source {
+                Expr::FunctionCall { name, args } if args.is_empty() => {
+                    self.engine.source_capability(name)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
         let seq = self.eval(source, env)?;
+        let stamp = match cap {
+            // Stamp with the version of the snapshot actually served
+            // (under stale-read degradation this is older than the
+            // live version, so the entry immediately fails
+            // revalidation — stale data is never retained).
+            Some(c) => CacheStamp::Source {
+                version: (c.served_version)(),
+                version_fn: c.version.clone(),
+            },
+            None => CacheStamp::Epoch(env.write_epoch),
+        };
         let mut index = JoinIdx::default();
         for (i, item) in seq.iter().enumerate() {
             if let Item::Node(_) = item {
@@ -806,7 +1039,7 @@ impl<'e> Evaluator<'e> {
                 }
             }
         }
-        let entry = Rc::new((seq, index));
+        let entry = Rc::new(JoinCacheEntry { seq, idx: index, stamp });
         env_join_cache(env).insert(cache_key, entry.clone());
         Ok(entry)
     }
@@ -1184,6 +1417,62 @@ impl<'e> Evaluator<'e> {
                 _ => unreachable!(),
             },
         }
+    }
+}
+
+/// A detected pushdown opportunity.
+struct Pushdown<'a> {
+    cap: crate::engine::SourceCapability,
+    col: String,
+    class: crate::engine::ColClass,
+    key_steps: Vec<Step>,
+    key_expr: &'a Expr,
+}
+
+/// Canonicalize a comparison key for a source column class, or `None`
+/// when the key cannot be pushed without risking *false negatives*
+/// (the source answers by canonical-lexical hash equality; the rewrite
+/// re-verifies candidates, so false positives are harmless but missed
+/// rows are not):
+///
+/// - `Integer` columns store canonical `i64` lexicals. Numeric keys
+///   compare numerically (push the integral value; non-integral or
+///   out-of-range values fall back). Untyped keys compare *stringly*
+///   against untyped column values, and only canonical lexicals can
+///   ever match — parsing and re-rendering is safe because a
+///   non-canonical key matches nothing either way.
+/// - `String` columns: string/untyped keys push verbatim; numeric keys
+///   would compare numerically against e.g. `"007"` and must fall back.
+/// - `Boolean` columns store `true`/`false`. Boolean keys push their
+///   canonical lexical; untyped keys are normalized (`1` → `true`),
+///   with re-verification discarding the lexical mismatches.
+fn pushdown_key(class: crate::engine::ColClass, a: &AtomicValue) -> Option<String> {
+    use crate::engine::ColClass;
+    match class {
+        ColClass::Integer => {
+            let d = match a {
+                v if v.type_of().is_numeric() => to_f64(v).ok()?,
+                AtomicValue::Untyped(s) => s.trim().parse::<f64>().ok()?,
+                _ => return None,
+            };
+            if !d.is_finite() || d.fract() != 0.0 || d.abs() >= 9.007_199_254_740_992e15 {
+                return None;
+            }
+            Some(format!("{}", d as i64))
+        }
+        ColClass::String => match a {
+            AtomicValue::String(s) | AtomicValue::Untyped(s) => Some(s.clone()),
+            _ => None,
+        },
+        ColClass::Boolean => match a {
+            AtomicValue::Boolean(b) => Some(b.to_string()),
+            AtomicValue::Untyped(s) => match s.trim() {
+                "true" | "1" => Some("true".to_string()),
+                "false" | "0" => Some("false".to_string()),
+                _ => None,
+            },
+            _ => None,
+        },
     }
 }
 

@@ -28,7 +28,9 @@ pub mod regex_lite;
 pub mod update;
 
 pub use context::Env;
-pub use engine::{Engine, ExternalFn, ProcRunner};
+pub use engine::{
+    ColClass, Engine, ExternalFn, OptCounters, OptStats, ProcRunner, SourceCapability,
+};
 pub use eval::Evaluator;
 pub use update::{Pul, Update};
 

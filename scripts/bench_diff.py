@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare freshly measured BENCH_E*.json tables against baselines.
+
+Usage: bench_diff.py <fresh-dir> <baseline-dir> [--warn-pct N]
+
+Matches rows positionally per experiment, compares every column whose
+header ends in `_ms` or equals `latency (ms)`-style names containing
+"(ms)", and reports any fresh value more than N % slower than the
+baseline. Exit status 1 if regressions were found, 0 otherwise (the
+caller decides whether that is fatal; check.sh treats it as a warning).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def timing_columns(header):
+    return [
+        i
+        for i, h in enumerate(header)
+        if h.endswith("_ms") or "(ms)" in h or h.endswith("(µs)")
+    ]
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_dir, base_dir = Path(argv[1]), Path(argv[2])
+    warn_pct = 25.0
+    if "--warn-pct" in argv:
+        warn_pct = float(argv[argv.index("--warn-pct") + 1])
+
+    regressions = []
+    compared = 0
+    for base_path in sorted(base_dir.glob("BENCH_E*.json")):
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            print(f"bench_diff: {base_path.name}: no fresh measurement; skipped")
+            continue
+        base = json.loads(base_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        if base.get("header") != fresh.get("header"):
+            print(f"bench_diff: {base_path.name}: header changed; skipped")
+            continue
+        cols = timing_columns(base["header"])
+        for row_i, (brow, frow) in enumerate(zip(base["rows"], fresh["rows"])):
+            for c in cols:
+                try:
+                    b, f = float(brow[c]), float(frow[c])
+                except (ValueError, IndexError):
+                    continue
+                compared += 1
+                if b > 0 and f > b * (1.0 + warn_pct / 100.0):
+                    regressions.append(
+                        f"{base['id']} row {row_i} `{base['header'][c]}`: "
+                        f"{b:.2f} -> {f:.2f} (+{(f / b - 1) * 100:.0f}%)"
+                    )
+
+    print(f"bench_diff: compared {compared} timing cells")
+    if regressions:
+        print(f"bench_diff: {len(regressions)} cell(s) slower than "
+              f"baseline by >{warn_pct:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print("bench_diff: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -30,7 +30,19 @@ run() {
 run cargo build $NET
 run cargo test -q $NET --workspace
 
+# The pushdown/versioned-caching layer has a kill switch
+# (XQSE_DISABLE_OPT=1 == Engine::set_optimize(false)) that must restore
+# the unoptimized baseline exactly: re-run the semantic suites —
+# conformance, chaos (staleness matrix), and the paper's use cases —
+# with the optimizer disabled.
+echo "==> XQSE_DISABLE_OPT=1 cargo test -q $NET --test conformance --test chaos --test use_cases --test figure3"
+XQSE_DISABLE_OPT=1 cargo test -q $NET --test conformance --test chaos \
+    --test use_cases --test figure3
+
 # Lints. Clippy may be absent in minimal toolchains; warn, don't fail.
+# Note: the optimizer-layer modules (xqeval/engine.rs, aldsp/rel.rs,
+# aldsp/introspect.rs) carry in-source `#![deny(clippy::unwrap_used)]`,
+# so this pass also rejects panicking unwraps on those read paths.
 if cargo clippy --version >/dev/null 2>&1; then
     run cargo clippy $NET --workspace --all-targets -- -D warnings
 else
@@ -41,6 +53,22 @@ if [ "$QUICK" -eq 0 ]; then
     run cargo build $NET --release
     # Benches must at least compile (running them is a manual step).
     run cargo bench $NET --workspace --no-run
+
+    # Bench-regression tripwire: run the quick experiment table,
+    # compare against the checked-in BENCH_E*.json baselines, and WARN
+    # (not fail — quick mode on shared hardware is noisy) when any
+    # *_ms column regresses by more than 25 %.
+    BENCH_TMP=$(mktemp -d)
+    trap 'rm -rf "$BENCH_TMP"' EXIT
+    echo "==> exptab quick --json --out $BENCH_TMP"
+    cargo run -q $NET --release -p xqse-bench --bin exptab -- \
+        quick --json --out "$BENCH_TMP"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 scripts/bench_diff.py "$BENCH_TMP" . --warn-pct 25 \
+            || echo "==> bench baseline check reported regressions (warning only)" >&2
+    else
+        echo "==> python3 unavailable; skipping bench baseline diff" >&2
+    fi
 fi
 
 echo "OK"

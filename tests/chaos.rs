@@ -311,6 +311,12 @@ fn xqse_namespace_wildcard_catches_any_infrastructure_fault() {
 #[test]
 fn breaker_opens_and_reads_degrade_to_stale_cache() {
     let d = demo::build(2, 1, 1).unwrap();
+    // This test pins the *unoptimized* read path: with the optimizer
+    // on, the CreditCards where-clause is pushed down to an indexed
+    // point-select and the faulted full scan never runs at all (see
+    // `stale_snapshot_keys_caches_while_breaker_open` for the
+    // optimized counterpart).
+    d.space.engine().set_optimize(false);
     let res = d.space.install_resilience(Resilience::new(Policy {
         max_retries: 0,
         breaker_threshold: 3,
@@ -489,6 +495,404 @@ proptest! {
                 other => prop_assert!(false, "expected abort, got {other:?}"),
             }
             prop_assert_eq!(ra, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8. Staleness matrix: versioned caches vs writes, aborts, and outages
+// ---------------------------------------------------------------------------
+//
+// The optimizer memoizes two things across statements — per-source
+// materialized XDM trees (keyed by table version) and join indexes
+// (stamped with either a source version or the write epoch). These
+// tests pin the staleness contract from every direction: committed
+// writes invalidate, aborted 2PC transactions do NOT, and stale-read
+// degradation keys derived caches on the *snapshot* version so a
+// recovered source is never served from a stale tree.
+
+/// A one-table "hr" space with the optimizer pinned ON (CI also runs
+/// the whole suite under `XQSE_DISABLE_OPT=1`, so tests that assert
+/// optimizer counters must not depend on the ambient default).
+fn hr_space() -> (DataSpace, Database) {
+    let db = Database::new("hr");
+    db.create_table(employee_schema()).unwrap();
+    db.insert("EMPLOYEE", vec![SqlValue::Int(1), SqlValue::Str("Ann".into())])
+        .unwrap();
+    let space = DataSpace::new();
+    space.register_relational_source(&db).unwrap();
+    space.engine().set_optimize(true);
+    (space, db)
+}
+
+#[test]
+fn committed_write_invalidates_materialized_read() {
+    let (space, _db) = hr_space();
+    let count = || {
+        space
+            .engine()
+            .eval_expr_str("fn:count(ens:EMPLOYEE())", &[("ens", "ld:hr/EMPLOYEE")])
+            .unwrap()
+            .string_value()
+            .unwrap()
+    };
+    space.engine().reset_opt_stats();
+    assert_eq!(count(), "1"); // builds the XDM tree for version v1
+    assert_eq!(count(), "1"); // version unchanged → tree reused
+    let s = space.engine().opt_stats();
+    assert_eq!((s.mat_misses, s.mat_hits), (1, 1));
+
+    // A committed create bumps the table version …
+    let create = QName::with_ns("ld:hr/EMPLOYEE", "createEMPLOYEE");
+    let mut env = Env::new();
+    space.xqse().call_procedure(&create, vec![emp(2, "Bob")], &mut env).unwrap();
+
+    // … so the very next read rebuilds — cached trees can never mask
+    // a committed write.
+    assert_eq!(count(), "2", "committed create visible immediately");
+    let s = space.engine().opt_stats();
+    assert_eq!(s.mat_misses, 2, "version bump forced a rebuild");
+    assert_eq!(count(), "2");
+    assert_eq!(space.engine().opt_stats().mat_hits, 2);
+}
+
+#[test]
+fn two_pc_abort_keeps_versions_and_materialized_trees_valid() {
+    let d = demo::build(3, 1, 1).unwrap();
+    d.space.engine().set_optimize(true);
+
+    // Warm every read function's materialized tree.
+    let warm = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    let last = warm.get_value(0, &["LAST_NAME"]).unwrap();
+    let v_cust = d.db1.table_version("CUSTOMER").unwrap();
+    let v_card = d.db2.table_version("CREDIT_CARD").unwrap();
+
+    // A doomed distributed update: db2's prepare fails permanently.
+    d.space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new().rule(FaultRule::new("db2", Op::Prepare, FaultKind::Permanent)),
+    ));
+    let g = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    g.set_value(0, &["LAST_NAME"], "Doomed").unwrap();
+    g.set_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"], "VOID").unwrap();
+    let err = d.space.submit(&g).unwrap_err();
+    assert_eq!(AldspCode::of(&err), Some(AldspCode::SrcUnavailable));
+
+    // The abort advanced NO table version: versions count committed
+    // transactions, and this one never committed.
+    assert_eq!(d.db1.table_version("CUSTOMER").unwrap(), v_cust);
+    assert_eq!(d.db2.table_version("CREDIT_CARD").unwrap(), v_card);
+
+    // So once the source heals, reads still revalidate against the
+    // same versions: zero rebuilds, and the data is pre-abort truth.
+    d.space.install_fault_injector(FaultInjector::new(FaultPlan::new()));
+    let s0 = d.space.engine().opt_stats();
+    let g2 = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    assert_eq!(g2.get_value(0, &["LAST_NAME"]).unwrap(), last);
+    let s = d.space.engine().opt_stats();
+    assert!(s.mat_hits > s0.mat_hits, "re-read served the memoized trees");
+    assert_eq!(s.mat_misses, s0.mat_misses, "the abort forced no rebuilds");
+}
+
+#[test]
+fn stale_snapshot_keys_caches_while_breaker_open() {
+    let (space, db) = hr_space();
+    let res = space.install_resilience(Resilience::new(Policy {
+        max_retries: 0,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 60_000,
+        ..Policy::default()
+    }));
+    let names = || {
+        space
+            .engine()
+            .eval_expr_str(
+                "fn:string-join(for $e in ens:EMPLOYEE() return fn:string($e/Name), ',')",
+                &[("ens", "ld:hr/EMPLOYEE")],
+            )
+            .unwrap()
+            .string_value()
+            .unwrap()
+    };
+
+    // Healthy warm read: materializes the tree for version v1 and
+    // populates the source's scan snapshot.
+    assert_eq!(names(), "Ann");
+    let v1 = db.table_version("EMPLOYEE").unwrap();
+
+    // A committed write bumps the live version past v1, but the last
+    // *served* snapshot is still the v1 rows.
+    db.execute(vec![WriteOp::Update {
+        table: "EMPLOYEE".into(),
+        set: vec![("Name".into(), SqlValue::Str("Zed".into()))],
+        cond: vec![("EmployeeID".into(), SqlValue::Int(1))],
+        expect_rows: 1,
+    }])
+    .unwrap();
+    assert!(db.table_version("EMPLOYEE").unwrap() > v1);
+
+    // Now the source goes down hard before anybody re-reads.
+    space.engine().reset_opt_stats();
+    space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new().rule(FaultRule::new("hr", Op::Scan, FaultKind::Permanent)),
+    ));
+
+    // Degraded reads serve the v1 snapshot — and because the snapshot
+    // reports its OWN version (v1, never the live one), the v1-keyed
+    // materialized tree revalidates and no rebuild happens at all.
+    assert_eq!(names(), "Ann");
+    assert_eq!(names(), "Ann"); // second failure trips the breaker
+    {
+        let r = res.lock();
+        assert_eq!(r.breaker_state("hr"), BreakerState::Open);
+        assert_eq!(r.stats().stale_reads, 2);
+    }
+    let s = space.engine().opt_stats();
+    assert_eq!(s.mat_misses, 0, "stale snapshot revalidated the v1 tree");
+    assert_eq!(s.mat_hits, 2);
+
+    // Breaker open: the next read fails fast at admission and still
+    // serves the stale tree.
+    assert_eq!(names(), "Ann");
+    {
+        let r = res.lock();
+        assert_eq!(r.stats().fast_failures, 1);
+        assert_eq!(r.stats().stale_reads, 3);
+    }
+    assert_eq!(space.engine().opt_stats().mat_hits, 3);
+
+    // The source heals and the breaker cools down. The half-open probe
+    // succeeds, the scan reports the live version, and the v1-keyed
+    // tree CANNOT be served — keying on the snapshot (not the live
+    // version) is exactly what forces this rebuild.
+    space.install_fault_injector(FaultInjector::new(FaultPlan::new()));
+    res.lock().clock().advance(60_000);
+    assert_eq!(names(), "Zed", "recovered read shows the committed write");
+    assert_eq!(space.engine().opt_stats().mat_misses, 1, "recovery rebuilt");
+}
+
+// --------------------------------------------------- join-cache stamps
+
+fn salaried_schema() -> TableSchema {
+    TableSchema {
+        name: "EMPLOYEE".into(),
+        columns: vec![
+            Column::required("EmployeeID", ColumnType::Integer),
+            Column::required("Name", ColumnType::Varchar),
+            // Decimal is deliberately NOT a pushable column class, so
+            // `where $e/SALARY eq 50.5` exercises the memoized-join
+            // path (with a source-version stamp) instead of pushdown.
+            Column::required("SALARY", ColumnType::Decimal),
+        ],
+        primary_key: vec!["EmployeeID".into()],
+        foreign_keys: vec![],
+    }
+}
+
+fn audit_schema() -> TableSchema {
+    TableSchema {
+        name: "AUDIT".into(),
+        columns: vec![
+            Column::required("ID", ColumnType::Integer),
+            Column::required("VAL", ColumnType::Varchar),
+        ],
+        primary_key: vec!["ID".into()],
+        foreign_keys: vec![],
+    }
+}
+
+/// An "hr" payroll table (8 rows at SALARY 50.5) plus an unrelated
+/// "log" source for audit writes.
+fn payroll_space() -> (DataSpace, Database, Database) {
+    let hr = Database::new("hr");
+    hr.create_table(salaried_schema()).unwrap();
+    for i in 1..=8 {
+        hr.insert(
+            "EMPLOYEE",
+            vec![
+                SqlValue::Int(i),
+                SqlValue::Str(format!("E{i}")),
+                SqlValue::parse(ColumnType::Decimal, "50.5").unwrap(),
+            ],
+        )
+        .unwrap();
+    }
+    let log = Database::new("log");
+    log.create_table(audit_schema()).unwrap();
+    let space = DataSpace::new();
+    space.register_relational_source(&hr).unwrap();
+    space.register_relational_source(&log).unwrap();
+    (space, hr, log)
+}
+
+/// Four loop iterations, each: count the 50.5-salaried employees, then
+/// write an audit row to the *other* source.
+const PAYROLL_AUDIT_LOOP: &str = r#"
+declare namespace ens = "ld:hr/EMPLOYEE";
+declare namespace log = "ld:log/AUDIT";
+{
+  declare $i as xs:integer := 1;
+  declare $total as xs:integer := 0;
+  while ($i le 4) {
+    set $total := $total +
+      fn:count(for $e in ens:EMPLOYEE() where $e/SALARY eq 50.5 return $e);
+    log:createAUDIT(<AUDIT><ID>{$i}</ID><VAL>x</VAL></AUDIT>);
+    set $i := $i + 1;
+  }
+  return value $total;
+}
+"#;
+
+#[test]
+fn version_stamped_join_entries_survive_unrelated_writes() {
+    // Optimizer on: the join index over hr/EMPLOYEE is stamped with
+    // that table's version, so AUDIT writes (which only bump the write
+    // epoch) leave it intact across all four statements.
+    let (space, _hr, log) = payroll_space();
+    space.engine().set_optimize(true);
+    space.engine().reset_opt_stats();
+    let out = space.xqse().run(PAYROLL_AUDIT_LOOP).unwrap();
+    assert_eq!(out.string_value().unwrap(), "32");
+    assert_eq!(log.row_count("AUDIT").unwrap(), 4);
+    let s = space.engine().opt_stats();
+    assert_eq!(s.pushdown_rewrites, 0, "Decimal key must defeat pushdown");
+    assert_eq!(s.join_misses, 1, "index built exactly once");
+    assert_eq!(s.join_hits, 3, "…and survived three unrelated AUDIT writes");
+    assert_eq!(s.join_invalidations, 0);
+
+    // Kill-switch baseline: with the optimizer off the entry is
+    // epoch-stamped, so every AUDIT write kills it (the seed's blanket
+    // any-write policy). Same answer, three extra rebuilds.
+    let (space, _hr, _log) = payroll_space();
+    space.engine().set_optimize(false);
+    space.engine().reset_opt_stats();
+    let out = space.xqse().run(PAYROLL_AUDIT_LOOP).unwrap();
+    assert_eq!(out.string_value().unwrap(), "32");
+    let s = space.engine().opt_stats();
+    assert_eq!(s.join_misses, 4);
+    assert_eq!(s.join_invalidations, 3);
+    assert_eq!(s.join_hits, 0);
+}
+
+#[test]
+fn join_entries_invalidate_when_their_source_is_written() {
+    // Same loop shape, but each iteration writes hr/EMPLOYEE itself:
+    // the version stamp must fail revalidation every time, and the
+    // growing counts prove no stale index was ever served.
+    const SELF_WRITE_LOOP: &str = r#"
+declare namespace ens = "ld:hr/EMPLOYEE";
+{
+  declare $i as xs:integer := 1;
+  declare $counts as xs:string* := ();
+  while ($i le 4) {
+    set $counts := ($counts, fn:string(fn:count(
+      for $e in ens:EMPLOYEE() where $e/SALARY eq 50.5 return $e)));
+    ens:createEMPLOYEE(<EMPLOYEE><EmployeeID>{100 + $i}</EmployeeID><Name>N</Name><SALARY>50.5</SALARY></EMPLOYEE>);
+    set $i := $i + 1;
+  }
+  return value fn:string-join($counts, ",");
+}
+"#;
+    let (space, hr, _log) = payroll_space();
+    space.engine().set_optimize(true);
+    space.engine().reset_opt_stats();
+    let out = space.xqse().run(SELF_WRITE_LOOP).unwrap();
+    assert_eq!(out.string_value().unwrap(), "8,9,10,11");
+    assert_eq!(hr.row_count("EMPLOYEE").unwrap(), 12);
+    let s = space.engine().opt_stats();
+    assert_eq!(s.join_misses, 4, "every iteration saw a fresh version");
+    assert_eq!(s.join_invalidations, 3);
+    assert_eq!(s.join_hits, 0, "a hit here would have served stale rows");
+}
+
+// ------------------------------------------- cached vs uncached agree
+
+/// Queries covering the three optimized read paths: full materialized
+/// scan, pushable equality filter, and keyed lookup.
+fn agreement_queries(id: i64, name: &str) -> Vec<String> {
+    vec![
+        "fn:string-join(for $e in ens:EMPLOYEE() order by $e/EmployeeID \
+         return fn:concat($e/EmployeeID, '=', $e/Name), ',')"
+            .to_string(),
+        format!(
+            "fn:count(for $e in ens:EMPLOYEE() where $e/Name eq '{name}' return $e)"
+        ),
+        format!("fn:string(ens:getByEmployeeID({id})/Name)"),
+    ]
+}
+
+fn agreement_space() -> (DataSpace, Database) {
+    let db = Database::new("hr");
+    db.create_table(employee_schema()).unwrap();
+    db.insert("EMPLOYEE", vec![SqlValue::Int(1), SqlValue::Str("seed".into())])
+        .unwrap();
+    let space = DataSpace::new();
+    space.register_relational_source(&db).unwrap();
+    (space, db)
+}
+
+fn eval_q(space: &DataSpace, q: &str) -> String {
+    space
+        .engine()
+        .eval_expr_str(q, &[("ens", "ld:hr/EMPLOYEE")])
+        .unwrap()
+        .string_value()
+        .unwrap()
+}
+
+fn call_proc(space: &DataSpace, proc_name: &str, arg: Sequence) {
+    let mut env = Env::new();
+    space
+        .xqse()
+        .call_procedure(&QName::with_ns("ld:hr/EMPLOYEE", proc_name), vec![arg], &mut env)
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Metamorphic property: an optimized space (pushdown + versioned
+    /// caches) and an unoptimized one, fed the same random stream of
+    /// keyed creates/updates/deletes, agree on every read after every
+    /// mutation. Any missed invalidation, over-eager pushdown, or
+    /// wrong version stamp shows up as a divergence.
+    #[test]
+    fn optimized_and_unoptimized_reads_agree(
+        ops in collection::vec((0u8..3, 1i64..6, 0u8..4), 1..20)
+    ) {
+        let (opt, _odb) = agreement_space();
+        opt.engine().set_optimize(true);
+        let (plain, _pdb) = agreement_space();
+        plain.engine().set_optimize(false);
+        let mut model = std::collections::BTreeSet::new();
+        model.insert(1i64);
+
+        for (op, id, tag) in ops {
+            let name = format!("n{tag}");
+            match op {
+                0 if !model.contains(&id) => {
+                    call_proc(&opt, "createEMPLOYEE", emp(id, &name));
+                    call_proc(&plain, "createEMPLOYEE", emp(id, &name));
+                    model.insert(id);
+                }
+                1 if model.contains(&id) => {
+                    call_proc(&opt, "updateEMPLOYEE", emp(id, &name));
+                    call_proc(&plain, "updateEMPLOYEE", emp(id, &name));
+                }
+                2 if model.contains(&id) => {
+                    call_proc(&opt, "deleteEMPLOYEE", emp(id, &name));
+                    call_proc(&plain, "deleteEMPLOYEE", emp(id, &name));
+                    model.remove(&id);
+                }
+                _ => {} // no-op: invalid against the current state
+            }
+            for q in agreement_queries(id, &name) {
+                prop_assert_eq!(
+                    eval_q(&opt, &q),
+                    eval_q(&plain, &q),
+                    "divergence on {:?} after op {} id {}",
+                    q, op, id
+                );
+            }
         }
     }
 }
