@@ -193,6 +193,9 @@ pub struct FaultEvent {
     pub op: Op,
     /// What was injected.
     pub injected: Injected,
+    /// Number of coalesced requests in flight when a *batched* call
+    /// was intercepted; `None` for single calls.
+    pub batch_size: Option<usize>,
 }
 
 /// Deterministic fault injector: consult [`FaultInjector::on_call`]
@@ -259,10 +262,27 @@ impl FaultInjector {
                 source: source.to_string(),
                 op,
                 injected: injected.clone(),
+                batch_size: None,
             });
             return Some(injected);
         }
         None
+    }
+
+    /// Decide the fate of one *batched* call.
+    ///
+    /// A coalesced batch of `size` requests consults the plan once —
+    /// a firing rule fails (or delays) the whole flight, exactly like
+    /// a real bulk endpoint. The logged [`FaultEvent`] records the
+    /// batch size so chaos tests can assert coalescing happened.
+    pub fn on_batch(&mut self, source: &str, op: Op, size: usize) -> Option<Injected> {
+        let verdict = self.on_call(source, op);
+        if verdict.is_some() {
+            if let Some(ev) = self.log.last_mut() {
+                ev.batch_size = Some(size);
+            }
+        }
+        verdict
     }
 
     /// Every fault injected so far, in order.

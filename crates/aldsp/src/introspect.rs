@@ -37,6 +37,11 @@ use crate::service::{DataService, Method, MethodKind, ServiceKind, SourceBinding
 use crate::ws::WebService;
 use crate::xmlmap::{self, service_namespace};
 
+/// Bound on the per-table keyed-select cache: entries are single-key
+/// row sets, so this comfortably covers E1-scale fan-out (2 columns x
+/// 5 000 keys) while keeping worst-case memory modest.
+const SELECT_CACHE_CAPACITY: usize = 16_384;
+
 /// Introspect every table of a relational source into entity data
 /// services and register their methods on the engine.
 pub fn introspect_relational(
@@ -163,12 +168,23 @@ fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &
         .iter()
         .filter_map(|c| col_class(c.ty).map(|cl| (c.name.clone(), cl)))
         .collect();
+    // Versioned per-key select cache (PR 4's batching layer): a FLWOR
+    // that point-selects the same keys against an unchanged table
+    // reuses the converted rows instead of re-probing the index and
+    // rebuilding XDM. Keying on the *live* table version makes reuse
+    // exact — any committed write bumps the version and misses — and
+    // mirrors the materialization cache's invalidation story one level
+    // down. `Engine::set_batch(false)` restores per-call probes.
+    let select_cache: Rc<RefCell<xqeval::Lru<String, (u64, Sequence)>>> =
+        Rc::new(RefCell::new(xqeval::Lru::new(SELECT_CACHE_CAPACITY)));
     let select = {
         let db = db.clone();
         let schema = schema.clone();
         let ns = ns.to_string();
         let table = schema.name.clone();
         let counters = counters.clone();
+        let batch_on = engine.batch_handle();
+        let select_cache = select_cache.clone();
         Rc::new(move |_env: &mut Env, col: &str, key: &str| -> XdmResult<Sequence> {
             let ty = schema
                 .column(col)
@@ -186,6 +202,20 @@ fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &
                 Ok(v) => v,
                 Err(_) => return Ok(Sequence::empty()),
             };
+            if batch_on.get() {
+                let ver = db.table_version(&table).unwrap_or(0);
+                let ck = format!("{col}\u{1}{key}");
+                if let Some((v0, seq)) = select_cache.borrow_mut().get(&ck) {
+                    if *v0 == ver {
+                        return Ok(seq.clone());
+                    }
+                }
+                OptCounters::bump(&counters.indexed_selects);
+                let rows = db.select_indexed(&table, &vec![(col.to_string(), v)])?;
+                let seq = xmlmap::rows_to_sequence(&schema, &ns, &rows);
+                select_cache.borrow_mut().insert(ck, (ver, seq.clone()));
+                return Ok(seq);
+            }
             OptCounters::bump(&counters.indexed_selects);
             let rows = db.select_indexed(&table, &vec![(col.to_string(), v)])?;
             Ok(xmlmap::rows_to_sequence(&schema, &ns, &rows))
@@ -461,6 +491,15 @@ fn register_navigation(
 }
 
 /// Introspect a web service into a library data service.
+///
+/// Each operation is registered twice: as an ordinary arity-1
+/// external function (the per-call path, which under the batch layer
+/// consults a per-evaluation memo and the service's read-through
+/// response cache before paying a round trip), and as a *batchable*
+/// entry point that the FLWOR evaluator flushes coalesced request
+/// batches through ([`WebService::call_many`]). With
+/// `XQSE_DISABLE_BATCH=1` (or optimization off) both collapse to the
+/// plain per-call breaker path.
 pub fn introspect_web_service(
     engine: &Engine,
     ws: &Rc<WebService>,
@@ -468,13 +507,109 @@ pub fn introspect_web_service(
     let ns = format!("ld:ws/{}", ws.name);
     let mut methods = Vec::new();
     for op_name in ws.operation_names() {
+        let qname = QName::with_ns(ns.clone(), op_name.clone());
+        let memo_key = {
+            let svc = ws.name.clone();
+            let op = op_name.clone();
+            move |request: &Sequence| {
+                format!("{svc}\u{2}{}", crate::ws::request_fingerprint(&op, request))
+            }
+        };
+
+        let opt = engine.optimize_handle();
+        let batch_on = engine.batch_handle();
+        let counters = engine.opt_counters();
         let ws2 = ws.clone();
         let op2 = op_name.clone();
+        let key_of = memo_key.clone();
         engine.register_external_function(
-            QName::with_ns(ns.clone(), op_name.clone()),
+            qname.clone(),
             1,
-            Rc::new(move |_env, args| ws2.call(&op2, &args[0])),
+            Rc::new(move |env: &mut Env, args: Vec<Sequence>| {
+                OptCounters::bump(&counters.ws_requests);
+                if !(opt.get() && batch_on.get()) {
+                    OptCounters::bump(&counters.ws_issued);
+                    return ws2.call(&op2, &args[0]);
+                }
+                // Per-evaluation memo: identical requests inside one
+                // FLWOR or `iterate` body short-circuit here without
+                // touching the breaker path.
+                let key = key_of(&args[0]);
+                if let Some(hit) = env.ws_memo.get(&key) {
+                    OptCounters::bump(&counters.ws_coalesced);
+                    return Ok(hit.clone());
+                }
+                // Cross-call read-through: a previous evaluation may
+                // already hold this exact response.
+                if let Some(hit) = ws2.cached(&op2, &args[0]) {
+                    OptCounters::bump(&counters.ws_coalesced);
+                    env.ws_memo.insert(key, hit.clone());
+                    return Ok(hit);
+                }
+                OptCounters::bump(&counters.ws_issued);
+                let resp = ws2.call(&op2, &args[0])?;
+                env.ws_memo.insert(key, resp.clone());
+                Ok(resp)
+            }),
         );
+
+        let opt = engine.optimize_handle();
+        let batch_on = engine.batch_handle();
+        let counters = engine.opt_counters();
+        let ws2 = ws.clone();
+        let op2 = op_name.clone();
+        engine.register_batchable_function(
+            qname,
+            1,
+            Rc::new(move |env: &mut Env, requests: &[Sequence]| {
+                let n = requests.len();
+                OptCounters::add(&counters.ws_requests, n as u64);
+                if !(opt.get() && batch_on.get()) {
+                    // The evaluator gates batching, but keep the
+                    // fallback correct if called directly.
+                    OptCounters::add(&counters.ws_issued, n as u64);
+                    return requests.iter().map(|r| ws2.call(&op2, r)).collect();
+                }
+                // Partition into memo / read-through hits and misses;
+                // only misses pay the (single) batched round trip.
+                let mut out: Vec<Option<Sequence>> = vec![None; n];
+                let mut miss_idx = Vec::new();
+                let mut miss_reqs = Vec::new();
+                for (i, req) in requests.iter().enumerate() {
+                    let key = memo_key(req);
+                    if let Some(hit) = env.ws_memo.get(&key) {
+                        OptCounters::bump(&counters.ws_coalesced);
+                        out[i] = Some(hit.clone());
+                    } else if let Some(hit) = ws2.cached(&op2, req) {
+                        OptCounters::bump(&counters.ws_coalesced);
+                        env.ws_memo.insert(key, hit.clone());
+                        out[i] = Some(hit);
+                    } else {
+                        miss_idx.push(i);
+                        miss_reqs.push(req.clone());
+                    }
+                }
+                if !miss_reqs.is_empty() {
+                    OptCounters::bump(&counters.ws_batches);
+                    let unique = WebService::unique_requests(&op2, &miss_reqs);
+                    OptCounters::add(&counters.ws_issued, unique as u64);
+                    OptCounters::add(
+                        &counters.ws_coalesced,
+                        (miss_reqs.len() - unique) as u64,
+                    );
+                    let resps = ws2.call_many(&op2, &miss_reqs)?;
+                    for (i, resp) in miss_idx.into_iter().zip(resps) {
+                        env.ws_memo.insert(memo_key(&requests[i]), resp.clone());
+                        out[i] = Some(resp);
+                    }
+                }
+                Ok(out
+                    .into_iter()
+                    .map(|o| o.unwrap_or_else(Sequence::empty))
+                    .collect())
+            }),
+        );
+
         methods.push(Method {
             name: op_name,
             kind: MethodKind::LibraryFunction,

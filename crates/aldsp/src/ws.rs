@@ -15,10 +15,16 @@ use xdm::error::{ErrorCode, XdmError, XdmResult};
 use xdm::node::NodeHandle;
 use xdm::qname::QName;
 use xdm::sequence::{Item, Sequence};
+use xqeval::Lru;
 
 use crate::errors::AldspCode;
 use crate::fault::Op;
 use crate::resilience::Access;
+
+/// Default bound on the per-service response cache. Must comfortably
+/// exceed the benchmark's largest working set (5 000 distinct
+/// customers in E1) or the read-through path would thrash.
+const RESPONSE_CACHE_CAPACITY: usize = 8_192;
 
 /// An operation implementation: request sequence in, response
 /// sequence out.
@@ -54,7 +60,11 @@ pub struct WebService {
     operations: HashMap<String, WsOperation>,
     order: Vec<String>,
     access: Rc<RefCell<Access>>,
-    response_cache: Rc<RefCell<HashMap<String, Sequence>>>,
+    /// Bounded (LRU) response store keyed by request fingerprint.
+    /// Serves two roles: the stale-read fallback when the service is
+    /// down, and the read-through cache for repeated identical
+    /// requests when the engine's batch layer is on.
+    response_cache: Rc<RefCell<Lru<String, Sequence>>>,
 }
 
 impl WebService {
@@ -66,8 +76,44 @@ impl WebService {
             operations: HashMap::new(),
             order: Vec::new(),
             access: Rc::new(RefCell::new(Access::none())),
-            response_cache: Rc::new(RefCell::new(HashMap::new())),
+            response_cache: Rc::new(RefCell::new(Lru::new(RESPONSE_CACHE_CAPACITY))),
         }
+    }
+
+    /// Rebound the response cache; evictions this forces are counted
+    /// against the source's resilience stats like any other.
+    pub fn set_response_cache_capacity(&self, cap: usize) {
+        let evicted = self.response_cache.borrow_mut().set_capacity(cap);
+        for _ in 0..evicted {
+            self.note_eviction();
+        }
+    }
+
+    /// Number of responses currently cached.
+    pub fn response_cache_len(&self) -> usize {
+        self.response_cache.borrow().len()
+    }
+
+    /// Insert a response, counting any forced LRU eviction in
+    /// [`crate::ResilienceStats::cache_evictions`].
+    fn cache_insert(&self, key: String, resp: Sequence) {
+        if self.response_cache.borrow_mut().insert(key, resp).is_some() {
+            self.note_eviction();
+        }
+    }
+
+    fn note_eviction(&self) {
+        if let Some(res) = &self.access.borrow().resilience {
+            res.lock().note_cache_eviction();
+        }
+    }
+
+    /// A cached response for this exact (operation, request) pair, if
+    /// one is still resident. Refreshes the entry's LRU recency: the
+    /// read-through path is the reason an entry is worth keeping.
+    pub fn cached(&self, name: &str, request: &Sequence) -> Option<Sequence> {
+        let key = request_fingerprint(name, request);
+        self.response_cache.borrow_mut().get(&key).cloned()
     }
 
     /// Install (or replace) the fault-injection / resilience handle
@@ -132,11 +178,70 @@ impl WebService {
             Op::Call,
             || {
                 let resp = (op.handler)(request)?;
-                self.response_cache.borrow_mut().insert(key.clone(), resp.clone());
+                self.cache_insert(key.clone(), resp.clone());
                 Ok(resp)
             },
-            || self.response_cache.borrow().get(&key).cloned(),
+            || self.response_cache.borrow().peek(&key).cloned(),
         )
+    }
+
+    /// Invoke an operation once for each request in one coalesced
+    /// round trip.
+    ///
+    /// Duplicate requests (same [`request_fingerprint`]) are issued
+    /// only once, in first-occurrence order, and every caller position
+    /// receives the shared response. The whole flight runs as a single
+    /// resilience transaction ([`Access::run_read_batch`]): one
+    /// breaker admission, one fault-injection consult, one
+    /// retry/backoff budget — with per-request stale-cache degradation
+    /// when the service is ultimately unavailable.
+    ///
+    /// Returns one response per input request, positionally.
+    pub fn call_many(&self, name: &str, requests: &[Sequence]) -> XdmResult<Vec<Sequence>> {
+        let op = self.operations.get(name).ok_or_else(|| {
+            XdmError::new(
+                ErrorCode::DSP0005,
+                format!("web service {} has no operation {name}", self.name),
+            )
+        })?;
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Coalesce duplicates: unique requests keep first-occurrence
+        // order; every input position remembers its unique slot.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of_key: HashMap<String, usize> = HashMap::new();
+        let mut slots = Vec::with_capacity(requests.len());
+        let mut keys = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            let key = request_fingerprint(name, req);
+            let slot = *slot_of_key.entry(key.clone()).or_insert_with(|| {
+                unique.push(i);
+                keys.push(key);
+                unique.len() - 1
+            });
+            slots.push(slot);
+        }
+        let access = self.access();
+        let responses = access.run_read_batch(
+            &self.name,
+            Op::Call,
+            unique.len(),
+            |u| {
+                let resp = (op.handler)(&requests[unique[u]])?;
+                self.cache_insert(keys[u].clone(), resp.clone());
+                Ok(resp)
+            },
+            |u| self.response_cache.borrow().peek(&keys[u]).cloned(),
+        )?;
+        Ok(slots.into_iter().map(|s| responses[s].clone()).collect())
+    }
+
+    /// How many *unique* handler invocations a batch of requests
+    /// would need (used by callers to account for coalescing).
+    pub fn unique_requests(name: &str, requests: &[Sequence]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        requests.iter().filter(|r| seen.insert(request_fingerprint(name, r))).count()
     }
 
     /// The paper's credit-rating service (Figures 2/3): takes a
@@ -199,10 +304,11 @@ impl WebService {
     }
 }
 
-/// A stable key for one (operation, request) pair, used by the stale
-/// response cache. String values are enough for the simulator's
-/// document-style requests.
-fn request_fingerprint(op: &str, request: &Sequence) -> String {
+/// A stable key for one (operation, request) pair, used by the
+/// response cache and for request coalescing in [`WebService::call_many`].
+/// String values are enough for the simulator's document-style
+/// requests.
+pub fn request_fingerprint(op: &str, request: &Sequence) -> String {
     let mut key = String::from(op);
     for item in request.items() {
         key.push('\u{1}');
@@ -292,6 +398,80 @@ mod tests {
             crate::errors::AldspCode::of(&err),
             Some(crate::errors::AldspCode::SrcBadRequest)
         );
+    }
+
+    #[test]
+    fn call_many_coalesces_duplicates_positionally() {
+        let svc = WebService::credit_rating("urn:cr");
+        let handler_calls = Rc::new(std::cell::Cell::new(0u32));
+        // Wrap the real handler to count invocations.
+        let real = svc.operation("getCreditRating").unwrap().handler.clone();
+        let calls = Rc::clone(&handler_calls);
+        let mut svc = svc;
+        svc.add_operation(
+            "getCreditRating",
+            "getCreditRating",
+            "getCreditRatingResponse",
+            Rc::new(move |req| {
+                calls.set(calls.get() + 1);
+                real(req)
+            }),
+        );
+        let a = request("111-11-1111", "Smith");
+        let b = request("222-22-2222", "Jones");
+        let batch = vec![a.clone(), b.clone(), a.clone(), a.clone()];
+        let out = svc.call_many("getCreditRating", &batch).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(handler_calls.get(), 2, "2 unique of 4");
+        assert_eq!(out[0].items()[0].string_value(), out[2].items()[0].string_value());
+        assert_eq!(out[0].items()[0].string_value(), out[3].items()[0].string_value());
+        assert_ne!(out[0].items()[0].string_value(), out[1].items()[0].string_value());
+        assert_eq!(WebService::unique_requests("getCreditRating", &batch), 2);
+    }
+
+    #[test]
+    fn call_many_agrees_with_sequential_calls() {
+        let svc = WebService::credit_rating("urn:cr");
+        let reqs = vec![request("1", "A"), request("2", "B"), request("1", "A")];
+        let batched = svc.call_many("getCreditRating", &reqs).unwrap();
+        let sequential: Vec<_> =
+            reqs.iter().map(|r| svc.call("getCreditRating", r).unwrap()).collect();
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.items()[0].string_value(), s.items()[0].string_value());
+        }
+    }
+
+    #[test]
+    fn cached_serves_read_through_hits() {
+        let svc = WebService::credit_rating("urn:cr");
+        let req = request("3", "C");
+        assert!(svc.cached("getCreditRating", &req).is_none());
+        let fresh = svc.call("getCreditRating", &req).unwrap();
+        let hit = svc.cached("getCreditRating", &req).unwrap();
+        assert_eq!(fresh.items()[0].string_value(), hit.items()[0].string_value());
+    }
+
+    #[test]
+    fn response_cache_is_bounded_and_counts_evictions() {
+        use crate::fault::FaultPlan;
+        use crate::resilience::{Policy, Resilience};
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        let svc = WebService::credit_rating("urn:cr");
+        let res = Arc::new(Mutex::new(Resilience::new(Policy::default())));
+        svc.set_access(Access {
+            injector: Some(Arc::new(Mutex::new(crate::fault::FaultInjector::new(
+                FaultPlan::new(),
+            )))),
+            resilience: Some(Arc::clone(&res)),
+        });
+        svc.set_response_cache_capacity(2);
+        for (ssn, last) in [("1", "A"), ("2", "B"), ("3", "C"), ("4", "D")] {
+            svc.call("getCreditRating", &request(ssn, last)).unwrap();
+        }
+        assert_eq!(svc.response_cache_len(), 2, "cache stays at capacity");
+        assert_eq!(res.lock().stats().cache_evictions, 2, "two forced evictions");
     }
 
     #[test]

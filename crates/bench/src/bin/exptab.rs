@@ -116,6 +116,7 @@ fn main() {
     e10_udelete(full, reps, &r);
     e11_join_ablation(full, reps, &r);
     e12_pushdown(full, reps, &r);
+    e13_prepared(full, reps, &r);
 }
 
 /// E12 (ablation): source pushdown — repeated keyed lookups over an
@@ -724,6 +725,79 @@ declare procedure uc1:deleteByCID($cid as xs:string) as empty-sequence()
         "E10 user-defined delete (use case 1): XQSE wrapper vs direct C/U/D \
          (times include fixture build)",
         &["customers", "wrapped_ms", "direct_ms", "wrapped/direct"],
+        &rows,
+    );
+}
+/// E13: prepared-plan reuse — parse + prolog-load a program once and
+/// re-execute the plan many times, vs. the pre-plan-cache behaviour
+/// of re-parsing the program text on every call (the `--no-batch` /
+/// `XQSE_DISABLE_BATCH=1` baseline).
+fn e13_prepared(full: bool, reps: usize, r: &Reporter) {
+    use std::rc::Rc;
+    use xqeval::{Engine, Env};
+
+    // A program whose cost is dominated by compilation: a multi-
+    // function prolog with a cheap body, the shape a deployed data
+    // service evaluates thousands of times with different contexts.
+    let src = "\
+        declare function local:band($n as xs:integer) as xs:string {\n\
+          if ($n ge 720) then 'prime' else if ($n ge 640) then 'good'\n\
+          else if ($n ge 560) then 'fair' else 'subprime'\n\
+        };\n\
+        declare function local:blend($a as xs:integer, $b as xs:integer) as xs:integer {\n\
+          ($a * 3 + $b * 2) idiv 5\n\
+        };\n\
+        declare function local:score($seed as xs:integer) as xs:integer {\n\
+          local:blend(520 + ($seed * 37) mod 300, 520 + ($seed * 91) mod 300)\n\
+        };\n\
+        declare function local:tier($seed as xs:integer) as xs:string {\n\
+          local:band(local:score($seed))\n\
+        };\n\
+        declare function local:limit($seed as xs:integer) as xs:integer {\n\
+          if (local:tier($seed) eq 'prime') then 50000\n\
+          else if (local:tier($seed) eq 'good') then 20000\n\
+          else if (local:tier($seed) eq 'fair') then 8000 else 1000\n\
+        };\n\
+        declare function local:fee($seed as xs:integer) as xs:decimal {\n\
+          local:limit($seed) * 0.0025 + (if ($seed mod 2 eq 0) then 5.00 else 7.50)\n\
+        };\n\
+        declare function local:summary($seed as xs:integer) as xs:string {\n\
+          concat(local:tier($seed), '/', string(local:limit($seed)))\n\
+        };\n\
+        local:band(688)";
+    let iters: &[usize] = if full { &[100, 1000] } else { &[50, 200] };
+    let mut rows = Vec::new();
+    for &n in iters {
+        let engine = Rc::new(Engine::new());
+        let expect = engine.eval_query(src).expect("e13 query");
+        let prepared = median_secs(reps, || {
+            let engine = Rc::new(Engine::new());
+            let pq = engine.prepare(src).expect("prepare");
+            for _ in 0..n {
+                let mut env = Env::new();
+                let got = engine.execute_prepared_in(&pq, &mut env).expect("exec");
+                assert_eq!(got.len(), expect.len());
+            }
+        });
+        let reparse = median_secs(reps, || {
+            let engine = Rc::new(Engine::new());
+            engine.set_batch(false); // kill-switch: plan cache off, parse per call
+            for _ in 0..n {
+                let got = engine.eval_query(src).expect("eval");
+                assert_eq!(got.len(), expect.len());
+            }
+        });
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3}", prepared * 1e3),
+            format!("{:.3}", reparse * 1e3),
+            format!("{:.1}x", reparse / prepared),
+        ]);
+    }
+    r.table(
+        "E13",
+        "E13 prepared-plan reuse: prepare once + execute N times vs re-parse per call",
+        &["iters", "prepared_ms", "reparse_ms", "reparse/prepared"],
         &rows,
     );
 }

@@ -1,19 +1,27 @@
 //! xqsh — a small driver for XQSE programs.
 //!
 //! Usage:
-//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--doc URI=FILE]...
+//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--no-batch] [--doc URI=FILE]...
 //!   echo '{ return value 1 + 1; }' | xqsh -
+//!   xqsh --repl < lines.xqse
 //!
 //! Runs the module (expression or block body) and prints the
 //! serialized result. `--trace` also prints `fn:trace` output;
 //! `--xqueryp` executes in XQueryP sequential mode (the §IV baseline);
 //! `--explain` prints the optimizer's hit/miss/invalidation counters
-//! (join cache, materialization cache, pushdown rewrites) to stderr
-//! after the run; `--no-opt` disables the pushdown/caching layer
-//! (equivalent to XQSE_DISABLE_OPT=1);
+//! (join cache, materialization cache, pushdown rewrites, plan cache,
+//! web-service coalescing) to stderr after the run; `--no-opt`
+//! disables the pushdown/caching layer (equivalent to
+//! XQSE_DISABLE_OPT=1); `--no-batch` disables only the prepared-plan
+//! and source-batching layer (equivalent to XQSE_DISABLE_BATCH=1);
 //! `--doc` registers an XML file so `fn:doc("URI")` resolves.
+//!
+//! `--repl` reads stdin line by line, evaluating each non-empty line
+//! as its own program against one shared engine and context. Repeated
+//! lines hit the engine's prepared-plan cache instead of re-parsing —
+//! `--explain` after a repeated line shows `plan cache hits` climbing.
 
-use std::io::Read;
+use std::io::{BufRead, Read};
 use std::process::ExitCode;
 use std::rc::Rc;
 
@@ -23,9 +31,36 @@ use xqse::Xqse;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xqsh <file.xqse | -> [--trace] [--xqueryp] [--explain] [--no-opt] [--doc URI=FILE]..."
+        "usage: xqsh <file.xqse | - | --repl> [--trace] [--xqueryp] [--explain] \
+         [--no-opt] [--no-batch] [--doc URI=FILE]..."
     );
     ExitCode::from(2)
+}
+
+fn print_explain(engine: &Engine) {
+    let s = engine.opt_stats();
+    eprintln!("explain: optimize = {}", engine.optimize_enabled());
+    eprintln!("explain: batch    = {}", engine.batch_enabled());
+    eprintln!(
+        "explain: join cache     hits={} misses={} invalidations={}",
+        s.join_hits, s.join_misses, s.join_invalidations
+    );
+    eprintln!(
+        "explain: mat cache      hits={} misses={} invalidations={}",
+        s.mat_hits, s.mat_misses, s.mat_invalidations
+    );
+    eprintln!(
+        "explain: pushdown       rewrites={} indexed-selects={}",
+        s.pushdown_rewrites, s.indexed_selects
+    );
+    eprintln!(
+        "explain: plan cache     hits={} misses={}",
+        s.plan_hits, s.plan_misses
+    );
+    eprintln!(
+        "explain: web service    requests={} issued={} coalesced={} batches={}",
+        s.ws_requests, s.ws_issued, s.ws_coalesced, s.ws_batches
+    );
 }
 
 fn main() -> ExitCode {
@@ -35,6 +70,8 @@ fn main() -> ExitCode {
     let mut sequential = false;
     let mut explain = false;
     let mut no_opt = false;
+    let mut no_batch = false;
+    let mut repl = false;
     let mut docs: Vec<(String, String)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -43,6 +80,8 @@ fn main() -> ExitCode {
             "--xqueryp" => sequential = true,
             "--explain" => explain = true,
             "--no-opt" => no_opt = true,
+            "--no-batch" => no_batch = true,
+            "--repl" => repl = true,
             "--doc" => match it.next().and_then(|d| {
                 d.split_once('=').map(|(u, f)| (u.to_string(), f.to_string()))
             }) {
@@ -54,6 +93,73 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    if repl && (source_arg.is_some() || sequential) {
+        return usage();
+    }
+
+    let engine = Rc::new(Engine::new());
+    if no_opt {
+        engine.set_optimize(false);
+    }
+    if no_batch {
+        engine.set_batch(false);
+    }
+    for (uri, file) in docs {
+        let xml = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xqsh: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match xmlparse::parse(&xml) {
+            Ok(doc) => engine.register_document(uri, doc),
+            Err(e) => {
+                eprintln!("xqsh: cannot parse {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if repl {
+        // One engine, one context: every line is its own program, but
+        // repeated program texts re-execute the cached prepared plan
+        // instead of being parsed and prolog-loaded again.
+        let xqse = Xqse::with_engine(engine.clone());
+        let mut env = Env::new();
+        let mut failed = false;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("xqsh: failed to read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = line.trim();
+            if program.is_empty() || program.starts_with('#') {
+                continue;
+            }
+            match xqse.run_with_env(program, &mut env) {
+                Ok(seq) => println!("{}", xmlparse::serialize_sequence(&seq)),
+                Err(e) => {
+                    eprintln!("xqsh: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if trace {
+            for line in env.trace_messages() {
+                eprintln!("trace: {line}");
+            }
+        }
+        if explain {
+            print_explain(&engine);
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
     let Some(path) = source_arg else { return usage() };
 
     let src = if path == "-" {
@@ -73,27 +179,6 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = Rc::new(Engine::new());
-    if no_opt {
-        engine.set_optimize(false);
-    }
-    for (uri, file) in docs {
-        let xml = match std::fs::read_to_string(&file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("xqsh: cannot read {file}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match xmlparse::parse(&xml) {
-            Ok(doc) => engine.register_document(uri, doc),
-            Err(e) => {
-                eprintln!("xqsh: cannot parse {file}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
     let mut env = Env::new();
     let result = if sequential {
         let xp = XqueryP::with_engine(engine.clone());
@@ -108,20 +193,7 @@ fn main() -> ExitCode {
         }
     }
     if explain {
-        let s = engine.opt_stats();
-        eprintln!("explain: optimize = {}", engine.optimize_enabled());
-        eprintln!(
-            "explain: join cache     hits={} misses={} invalidations={}",
-            s.join_hits, s.join_misses, s.join_invalidations
-        );
-        eprintln!(
-            "explain: mat cache      hits={} misses={} invalidations={}",
-            s.mat_hits, s.mat_misses, s.mat_invalidations
-        );
-        eprintln!(
-            "explain: pushdown       rewrites={} indexed-selects={}",
-            s.pushdown_rewrites, s.indexed_selects
-        );
+        print_explain(&engine);
     }
     match result {
         Ok(seq) => {

@@ -88,10 +88,16 @@ impl Xqse {
     /// [`Xqse::run`] against a caller-provided context (lets callers
     /// inspect `fn:trace` output or pre-bind state).
     pub fn run_with_env(&self, src: &str, env: &mut Env) -> XdmResult<Sequence> {
-        let module = self.engine.load(src)?;
-        match &module.body {
+        // Route through the prepared-plan cache: repeated evaluations
+        // of the same source text (REPL lines, benchmark reps,
+        // per-item `iterate` bodies) parse and prolog-load once, then
+        // re-execute the cached plan. With plan caching disabled
+        // (`XQSE_DISABLE_BATCH=1` / optimization off) `prepare`
+        // degenerates to the old load-then-run path.
+        let pq = self.engine.prepare(src)?;
+        match &pq.module().body {
             QueryBody::None => Ok(Sequence::empty()),
-            QueryBody::Expr(e) => Evaluator::new(&self.engine).eval(e, env),
+            QueryBody::Expr(_) => self.engine.execute_prepared_in(&pq, env),
             QueryBody::Block(b) => match exec_block(&self.engine, b, env)? {
                 Flow::Return(v) => Ok(v),
                 Flow::Normal => Ok(Sequence::empty()),

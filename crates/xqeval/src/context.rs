@@ -48,6 +48,13 @@ pub struct Env {
     /// underlying source keep their indexes across statement
     /// boundaries.
     pub join_cache: HashMap<(usize, u64), Rc<crate::eval::JoinCacheEntry>>,
+    /// Per-evaluation web-service memo: responses keyed by
+    /// `service\u{2}operation\u{1}request…` fingerprint. Identical
+    /// requests inside one evaluation (a FLWOR or an `iterate` body)
+    /// hit this memo instead of the resilience/breaker path. Cleared
+    /// whenever a statement may have produced side effects (same
+    /// policy as the epoch-stamped join cache).
+    pub ws_memo: HashMap<String, Sequence>,
     /// Bumped by the XQSE engine whenever a statement *may* have
     /// produced side effects whose extent it cannot attribute to a
     /// specific source (procedure calls, web-service submissions).
@@ -84,6 +91,7 @@ impl Env {
             pul: None,
             trace: Rc::new(RefCell::new(Vec::new())),
             join_cache: HashMap::new(),
+            ws_memo: HashMap::new(),
             write_epoch: 0,
         }
     }
@@ -94,6 +102,7 @@ impl Env {
     /// indexes share).
     pub fn invalidate_caches(&mut self) {
         self.join_cache.clear();
+        self.ws_memo.clear();
         self.write_epoch += 1;
     }
 
@@ -101,8 +110,11 @@ impl Env {
     /// mutating already-materialized trees (external procedure calls).
     /// Epoch-stamped cache entries stop revalidating; version-stamped
     /// entries over sources the statement did not touch survive — this
-    /// is the precise cross-statement retention of ISSUE 2.
+    /// is the precise cross-statement retention of ISSUE 2. The WS
+    /// memo is cleared too: a procedure may have changed what a
+    /// service would answer.
     pub fn note_write(&mut self) {
+        self.ws_memo.clear();
         self.write_epoch += 1;
     }
 

@@ -24,15 +24,23 @@ use xdm::node::NodeHandle;
 use xdm::qname::QName;
 use xdm::sequence::Sequence;
 
-use xqparser::ast::{FunctionDecl, Module, ProcedureDecl, QueryBody};
+use xqparser::ast::{Expr, FunctionDecl, Module, ProcedureDecl, QueryBody};
 use xqparser::parser::parse_module;
 
+use crate::cache::Lru;
 use crate::context::Env;
 use crate::eval::Evaluator;
+use crate::fold;
 
 /// A native (Rust) implementation bound to a QName/arity: the bridge
 /// to ALDSP physical sources and other host functionality.
 pub type ExternalFn = Rc<dyn Fn(&mut Env, Vec<Sequence>) -> XdmResult<Sequence>>;
+
+/// A native batch implementation for a batchable source function: one
+/// argument sequence per pending request, one response sequence per
+/// request, positionally. The FLWOR evaluator flushes accumulated
+/// loop iterations through this in one coalesced source round trip.
+pub type BatchFn = Rc<dyn Fn(&mut Env, &[Sequence]) -> XdmResult<Vec<Sequence>>>;
 
 /// Hook installed by the XQSE statement engine so that the expression
 /// evaluator can call *user-defined readonly procedures* (which
@@ -121,6 +129,20 @@ pub struct OptStats {
     pub pushdown_rewrites: u64,
     /// Optimize-gated reads answered via a secondary index.
     pub indexed_selects: u64,
+    /// Prepared-plan cache hits (parse + prolog load skipped).
+    pub plan_hits: u64,
+    /// Prepared-plan cache misses (module parsed and analyzed).
+    pub plan_misses: u64,
+    /// Web-service requests observed at the mediator.
+    pub ws_requests: u64,
+    /// Web-service requests actually issued to the source access
+    /// layer (handler attempts; the rest were coalesced).
+    pub ws_issued: u64,
+    /// Web-service requests answered without touching the source
+    /// (per-evaluation memo, response cache, or in-batch dedup).
+    pub ws_coalesced: u64,
+    /// Batched web-service flushes (`call_many` round trips).
+    pub ws_batches: u64,
 }
 
 /// Live (interior-mutability) counter block behind [`OptStats`].
@@ -145,12 +167,74 @@ pub struct OptCounters {
     pub pushdown_rewrites: Cell<u64>,
     /// See [`OptStats::indexed_selects`].
     pub indexed_selects: Cell<u64>,
+    /// See [`OptStats::plan_hits`].
+    pub plan_hits: Cell<u64>,
+    /// See [`OptStats::plan_misses`].
+    pub plan_misses: Cell<u64>,
+    /// See [`OptStats::ws_requests`].
+    pub ws_requests: Cell<u64>,
+    /// See [`OptStats::ws_issued`].
+    pub ws_issued: Cell<u64>,
+    /// See [`OptStats::ws_coalesced`].
+    pub ws_coalesced: Cell<u64>,
+    /// See [`OptStats::ws_batches`].
+    pub ws_batches: Cell<u64>,
 }
 
 impl OptCounters {
     /// Add one to a counter cell (convenience for closure call sites).
     pub fn bump(cell: &Cell<u64>) {
         cell.set(cell.get() + 1);
+    }
+
+    /// Add `n` to a counter cell.
+    pub fn add(cell: &Cell<u64>, n: u64) {
+        cell.set(cell.get() + n);
+    }
+}
+
+/// A query compiled once and executable many times: the parsed module,
+/// its prolog already loaded into the engine, a constant-folded body,
+/// and the statically resolved function/procedure bindings.
+///
+/// Obtained from [`Engine::prepare`]; executed with
+/// [`Engine::execute_prepared`]. This is the paper-era mediation-tier
+/// shape — data-service functions are compiled once at deployment and
+/// served many times — applied to our `eval_query` path.
+pub struct PreparedQuery {
+    module: Rc<Module>,
+    /// Constant-folded expression body (None for block/empty bodies,
+    /// or when the plan was prepared without analysis).
+    folded_body: Option<Expr>,
+    /// Call sites resolved against the registries at prepare time.
+    resolved: HashMap<(QName, usize), fold::ResolvedBinding>,
+    /// Global variable values computed by the prolog load, re-installed
+    /// verbatim on every plan-cache hit (prolog-load-once semantics).
+    globals: Vec<(QName, Sequence)>,
+    /// Registry generation this plan was prepared against (the
+    /// "prolog fingerprint" half of the cache key): a later external
+    /// registration invalidates the plan.
+    gen: u64,
+}
+
+impl PreparedQuery {
+    /// The parsed module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The body this plan will evaluate: the constant-folded tree if
+    /// analysis ran, otherwise the module's original expression body.
+    pub fn body(&self) -> Option<&Expr> {
+        self.folded_body.as_ref().or(match &self.module.body {
+            QueryBody::Expr(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// How many statically known call sites resolved at prepare time.
+    pub fn resolved_binding_count(&self) -> usize {
+        self.resolved.len()
     }
 }
 
@@ -204,9 +288,29 @@ pub struct Engine {
     /// [`Engine::invalidate_materialization`] when an update statement
     /// may have mutated cached trees in place.
     mat_flushers: RefCell<Vec<Rc<dyn Fn()>>>,
+    /// Whether the PR 4 executor layer (prepared-plan reuse + batched
+    /// / memoized source access) is enabled. Separate from
+    /// [`Engine::optimize`] so `XQSE_DISABLE_BATCH=1` restores exactly
+    /// the PR 2 behavior while keeping pushdown/caching on; both
+    /// flags must be on for the layer to engage.
+    batch: Rc<Cell<bool>>,
+    /// Bumped on every external function/procedure registration — the
+    /// "prolog fingerprint" that invalidates cached plans prepared
+    /// against an older registry.
+    registry_gen: Cell<u64>,
+    /// LRU cache of prepared plans, keyed by query source text.
+    plan_cache: RefCell<Lru<String, Rc<PreparedQuery>>>,
+    /// Batch entry points for batchable source functions (web-service
+    /// operations), keyed like [`Engine::functions`].
+    batchables: RefCell<HashMap<(QName, usize), BatchFn>>,
     /// Optimizer counters.
     opt: Rc<OptCounters>,
 }
+
+/// Default prepared-plan cache capacity: enough for every distinct
+/// data-service function a realistic space serves, small enough that
+/// eviction scans stay trivial.
+const PLAN_CACHE_CAPACITY: usize = 64;
 
 impl Default for Engine {
     fn default() -> Self {
@@ -238,11 +342,22 @@ impl Engine {
             opt_mirrors: RefCell::new(Vec::new()),
             capabilities: RefCell::new(HashMap::new()),
             mat_flushers: RefCell::new(Vec::new()),
+            // `XQSE_DISABLE_BATCH=1` switches off the prepared-plan /
+            // batched-source layer only, reproducing the PR 2
+            // optimizer generation — the third dual-mode CI arm.
+            batch: Rc::new(Cell::new(
+                !matches!(std::env::var("XQSE_DISABLE_BATCH").as_deref(), Ok("1")),
+            )),
+            registry_gen: Cell::new(0),
+            plan_cache: RefCell::new(Lru::new(PLAN_CACHE_CAPACITY)),
+            batchables: RefCell::new(HashMap::new()),
             opt: Rc::new(OptCounters::default()),
         }
     }
 
-    /// Register an external (native) function.
+    /// Register an external (native) function. Bumps the registry
+    /// generation: prepared plans from before this registration stop
+    /// revalidating in the plan cache.
     pub fn register_external_function(
         &self,
         name: QName,
@@ -252,10 +367,12 @@ impl Engine {
         self.functions
             .borrow_mut()
             .insert((name, arity), FunctionKind::External { f, updating: false });
+        self.registry_gen.set(self.registry_gen.get() + 1);
     }
 
     /// Register an external procedure (side-effecting unless
-    /// `readonly`).
+    /// `readonly`). Bumps the registry generation like
+    /// [`Engine::register_external_function`].
     pub fn register_external_procedure(
         &self,
         name: QName,
@@ -266,6 +383,19 @@ impl Engine {
         self.procedures
             .borrow_mut()
             .insert((name, arity), ProcKind::External { f, readonly });
+        self.registry_gen.set(self.registry_gen.get() + 1);
+    }
+
+    /// Register a batch entry point for an already-registered external
+    /// function: the FLWOR evaluator flushes accumulated iterations
+    /// through it in one coalesced round trip (web-service sources).
+    pub fn register_batchable_function(&self, name: QName, arity: usize, f: BatchFn) {
+        self.batchables.borrow_mut().insert((name, arity), f);
+    }
+
+    /// The batch entry point of a function, if it is batchable.
+    pub fn batchable(&self, name: &QName, arity: usize) -> Option<BatchFn> {
+        self.batchables.borrow().get(&(name.clone(), arity)).cloned()
     }
 
     /// Bind a global variable (external variables, ALDSP parameters).
@@ -340,6 +470,37 @@ impl Engine {
         self.opt_mirrors.borrow_mut().push(mirror);
     }
 
+    /// Whether the batched/prepared executor layer is enabled (PR 4).
+    /// `set_optimize(false)` also disables it — `optimize` stays the
+    /// umbrella kill-switch for the whole performance stack.
+    pub fn batch_enabled(&self) -> bool {
+        self.batch.get()
+    }
+
+    /// Toggle the batched/prepared executor layer independently of the
+    /// umbrella flag (the `XQSE_DISABLE_BATCH=1` CI arm and the E13
+    /// parse-per-call ablation use this to reproduce PR 2 behavior).
+    pub fn set_batch(&self, on: bool) {
+        self.batch.set(on);
+    }
+
+    /// A shared handle on the batch flag (captured by source closures
+    /// registered at introspection time).
+    pub fn batch_handle(&self) -> Rc<Cell<bool>> {
+        self.batch.clone()
+    }
+
+    /// Are prepared plans cached and reused? Requires both the
+    /// umbrella optimize flag and the batch-layer flag.
+    pub fn plan_caching_enabled(&self) -> bool {
+        self.optimize.get() && self.batch.get()
+    }
+
+    /// Resize the prepared-plan cache (shrinking evicts LRU entries).
+    pub fn set_plan_cache_capacity(&self, cap: usize) {
+        self.plan_cache.borrow_mut().set_capacity(cap);
+    }
+
     /// Whether the FLWOR hash-join rewrite is available (default: yes,
     /// even with `set_optimize(false)` — the rewrite is part of the
     /// pre-optimizer baseline).
@@ -396,6 +557,12 @@ impl Engine {
             mat_invalidations: self.opt.mat_invalidations.get(),
             pushdown_rewrites: self.opt.pushdown_rewrites.get(),
             indexed_selects: self.opt.indexed_selects.get(),
+            plan_hits: self.opt.plan_hits.get(),
+            plan_misses: self.opt.plan_misses.get(),
+            ws_requests: self.opt.ws_requests.get(),
+            ws_issued: self.opt.ws_issued.get(),
+            ws_coalesced: self.opt.ws_coalesced.get(),
+            ws_batches: self.opt.ws_batches.get(),
         }
     }
 
@@ -410,6 +577,12 @@ impl Engine {
         o.mat_invalidations.set(0);
         o.pushdown_rewrites.set(0);
         o.indexed_selects.set(0);
+        o.plan_hits.set(0);
+        o.plan_misses.set(0);
+        o.ws_requests.set(0);
+        o.ws_issued.set(0);
+        o.ws_coalesced.set(0);
+        o.ws_batches.set(0);
     }
 
     /// Shared counter block for the evaluator and source closures.
@@ -502,9 +675,125 @@ impl Engine {
         Ok(())
     }
 
+    /// Prepare a query: parse, load the prolog, constant-fold the body
+    /// and resolve its static call sites — once — and return a plan
+    /// executable many times via [`Engine::execute_prepared`].
+    ///
+    /// With the plan cache enabled ([`Engine::plan_caching_enabled`]),
+    /// plans are memoized by source text and revalidated against the
+    /// registry generation ("prolog fingerprint"); a hit skips the
+    /// parse and the prolog load entirely, re-installing the plan's
+    /// own prolog declarations and captured global values so the plan
+    /// always executes against the prolog it was compiled with. With
+    /// the cache disabled this degenerates to parse-per-call (the
+    /// PR 2 behavior) and skips the analysis pass.
+    pub fn prepare(&self, src: &str) -> XdmResult<Rc<PreparedQuery>> {
+        if !self.plan_caching_enabled() {
+            return self.prepare_uncached(src, false);
+        }
+        let gen = self.registry_gen.get();
+        let hit = self.plan_cache.borrow_mut().get(&src.to_string()).cloned();
+        if let Some(pq) = hit {
+            if pq.gen == gen {
+                OptCounters::bump(&self.opt.plan_hits);
+                self.reinstall_prolog(&pq);
+                return Ok(pq);
+            }
+        }
+        OptCounters::bump(&self.opt.plan_misses);
+        let pq = self.prepare_uncached(src, true)?;
+        self.plan_cache.borrow_mut().insert(src.to_string(), pq.clone());
+        Ok(pq)
+    }
+
+    fn prepare_uncached(&self, src: &str, analyze: bool) -> XdmResult<Rc<PreparedQuery>> {
+        let module = parse_module(src)?;
+        self.load_prolog(&module)?;
+        let mut globals = Vec::new();
+        for v in &module.prolog.variables {
+            if let Some(val) = self.globals.borrow().get(&v.name) {
+                globals.push((v.name.clone(), val.clone()));
+            }
+        }
+        let (folded_body, resolved) = if analyze {
+            match &module.body {
+                QueryBody::Expr(e) => {
+                    let folded = fold::fold_expr(self, e);
+                    let resolved = fold::resolve_bindings(self, &folded);
+                    (Some(folded), resolved)
+                }
+                _ => (None, HashMap::new()),
+            }
+        } else {
+            (None, HashMap::new())
+        };
+        Ok(Rc::new(PreparedQuery {
+            module: Rc::new(module),
+            folded_body,
+            resolved,
+            globals,
+            gen: self.registry_gen.get(),
+        }))
+    }
+
+    /// Re-install a cached plan's own prolog declarations and global
+    /// values (cheap map inserts, no parsing, no initializer
+    /// re-evaluation) so a plan-cache hit executes against the prolog
+    /// it was compiled with even if another module shadowed it since.
+    fn reinstall_prolog(&self, pq: &PreparedQuery) {
+        for f in &pq.module.prolog.functions {
+            if f.body.is_some() {
+                self.functions.borrow_mut().insert(
+                    (f.name.clone(), f.params.len()),
+                    FunctionKind::User(Rc::new(f.clone())),
+                );
+            }
+        }
+        for p in &pq.module.prolog.procedures {
+            if p.body.is_some() {
+                self.procedures.borrow_mut().insert(
+                    (p.name.clone(), p.params.len()),
+                    ProcKind::User(Rc::new(p.clone())),
+                );
+            }
+        }
+        for (name, val) in &pq.globals {
+            self.globals.borrow_mut().insert(name.clone(), val.clone());
+        }
+    }
+
+    /// Execute a prepared plan in a fresh dynamic context.
+    pub fn execute_prepared(&self, pq: &PreparedQuery) -> XdmResult<Sequence> {
+        let mut env = Env::new();
+        self.execute_prepared_in(pq, &mut env)
+    }
+
+    /// Execute a prepared plan in a caller-provided context.
+    pub fn execute_prepared_in(
+        &self,
+        pq: &PreparedQuery,
+        env: &mut Env,
+    ) -> XdmResult<Sequence> {
+        match (&pq.folded_body, &pq.module.body) {
+            (Some(e), _) => Evaluator::new(self).eval(e, env),
+            (None, QueryBody::Expr(e)) => Evaluator::new(self).eval(e, env),
+            (None, QueryBody::None) => Ok(Sequence::empty()),
+            (None, QueryBody::Block(_)) => Err(XdmError::new(
+                ErrorCode::XPST0003,
+                "query body is an XQSE block; use the xqse statement engine",
+            )),
+        }
+    }
+
     /// Load a module and evaluate its query body, which must be an
-    /// expression (use the `xqse` crate for block bodies).
+    /// expression (use the `xqse` crate for block bodies). With the
+    /// plan cache enabled this routes through [`Engine::prepare`], so
+    /// repeated evaluation of the same source text parses once.
     pub fn eval_query(&self, src: &str) -> XdmResult<Sequence> {
+        if self.plan_caching_enabled() {
+            let pq = self.prepare(src)?;
+            return self.execute_prepared(&pq);
+        }
         let module = self.load(src)?;
         match &module.body {
             QueryBody::Expr(e) => {

@@ -778,6 +778,78 @@ impl<'e> Evaluator<'e> {
                         i += 2; // consumed the Where too
                         continue;
                     }
+                    // Batched source access: a for-clause whose source
+                    // calls a *batchable* function (web-service
+                    // operations) is not issued per tuple. The request
+                    // expression is evaluated for every pending tuple
+                    // first, then the calls are flushed through the
+                    // source's batch entry point in one coalesced
+                    // round trip at the iteration boundary. A
+                    // loop-invariant call (request references no
+                    // variables) is hoisted and issued once. Requests
+                    // are flushed in tuple order, so the first failing
+                    // request surfaces exactly the error sequential
+                    // evaluation would have raised.
+                    if pos.is_none()
+                        && !tuples.is_empty()
+                        && self.engine.optimize_enabled()
+                        && self.engine.batch_enabled()
+                    {
+                        if let Expr::FunctionCall { name, args } = source {
+                            if args.len() == 1 {
+                                if let Some(batch) =
+                                    self.engine.batchable(name, 1)
+                                {
+                                    let mut next = Vec::new();
+                                    if tuples.len() > 1
+                                        && !expr_refs_any_var(&args[0])
+                                    {
+                                        // Hoisted: one request serves
+                                        // every tuple.
+                                        let req = self.eval(&args[0], env)?;
+                                        let resp = batch(env, &[req])?
+                                            .into_iter()
+                                            .next()
+                                            .unwrap_or_else(Sequence::empty);
+                                        for tuple in &tuples {
+                                            for item in resp.iter() {
+                                                let mut t = tuple.clone();
+                                                t.push((
+                                                    var.clone(),
+                                                    Sequence::one(item.clone()),
+                                                ));
+                                                next.push(t);
+                                            }
+                                        }
+                                    } else {
+                                        let mut requests =
+                                            Vec::with_capacity(tuples.len());
+                                        for tuple in &tuples {
+                                            requests.push(with_tuple(
+                                                self, env, tuple, &args[0],
+                                            )?);
+                                        }
+                                        let responses = batch(env, &requests)?;
+                                        for (tuple, resp) in
+                                            tuples.iter().zip(responses)
+                                        {
+                                            for item in resp.iter() {
+                                                let mut t = tuple.clone();
+                                                t.push((
+                                                    var.clone(),
+                                                    Sequence::one(item.clone()),
+                                                ));
+                                                next.push(t);
+                                            }
+                                        }
+                                    }
+                                    tuples = next;
+                                    i += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     let mut next = Vec::new();
                     for tuple in &tuples {
                         let seq = with_tuple(self, env, tuple, source)?;

@@ -20,16 +20,20 @@
 //! calls from expressions are permitted only for `readonly` procedures
 //! (`XQSE0004`).
 
+pub mod cache;
 pub mod context;
 pub mod engine;
 pub mod eval;
+pub mod fold;
 pub mod functions;
 pub mod regex_lite;
 pub mod update;
 
+pub use cache::Lru;
 pub use context::Env;
 pub use engine::{
-    ColClass, Engine, ExternalFn, OptCounters, OptStats, ProcRunner, SourceCapability,
+    BatchFn, ColClass, Engine, ExternalFn, OptCounters, OptStats, PreparedQuery,
+    ProcRunner, SourceCapability,
 };
 pub use eval::Evaluator;
 pub use update::{Pul, Update};

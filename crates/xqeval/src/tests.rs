@@ -876,3 +876,98 @@ fn join_cache_invalidation_sees_fresh_data() {
     let after = engine.eval_in(&expr, &mut env).unwrap();
     assert_eq!(as_string(&after), "3");
 }
+
+// ---------------------------------------------------------------
+// Prepared-plan cache (PR 4).
+// ---------------------------------------------------------------
+
+#[test]
+fn prepare_caches_plans_by_source_text() {
+    let engine = Engine::new();
+    let src = "declare variable $n := 4; $n * $n";
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "16");
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "16");
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "16");
+    let s = engine.opt_stats();
+    assert_eq!(s.plan_misses, 1, "parsed once");
+    assert_eq!(s.plan_hits, 2, "re-executed from cache twice");
+}
+
+#[test]
+fn plan_cache_hit_reinstalls_the_plans_own_prolog() {
+    // Two modules declare the same function differently; alternating
+    // between them must never execute the wrong body.
+    let engine = Engine::new();
+    let m1 = "declare function local:f() { 1 }; local:f()";
+    let m2 = "declare function local:f() { 2 }; local:f()";
+    for _ in 0..3 {
+        assert_eq!(as_string(&engine.eval_query(m1).unwrap()), "1");
+        assert_eq!(as_string(&engine.eval_query(m2).unwrap()), "2");
+    }
+    assert_eq!(engine.opt_stats().plan_misses, 2);
+    assert_eq!(engine.opt_stats().plan_hits, 4);
+}
+
+#[test]
+fn registering_externals_invalidates_cached_plans() {
+    let engine = Engine::new();
+    let src = "fn:count(x:rows())";
+    engine.register_external_function(
+        QName::with_ns("urn:x", "rows"),
+        0,
+        Rc::new(|_e, _a| Ok(Sequence::one(Item::integer(1)))),
+    );
+    let expr_src = "declare namespace x = \"urn:x\"; fn:count(x:rows())";
+    assert_eq!(as_string(&engine.eval_query(expr_src).unwrap()), "1");
+    // Re-registering bumps the registry generation: the cached plan's
+    // pre-resolved bindings are stale, so the next prepare re-compiles.
+    engine.register_external_function(
+        QName::with_ns("urn:x", "rows"),
+        0,
+        Rc::new(|_e, _a| {
+            Ok(vec![Item::integer(1), Item::integer(2)].into_iter().collect())
+        }),
+    );
+    assert_eq!(as_string(&engine.eval_query(expr_src).unwrap()), "2");
+    assert_eq!(engine.opt_stats().plan_misses, 2, "generation bump re-prepared");
+    let _ = src;
+}
+
+#[test]
+fn plan_cache_disabled_with_batch_kill_switch() {
+    let engine = Engine::new();
+    engine.set_batch(false);
+    let src = "1 + 1";
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "2");
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "2");
+    let s = engine.opt_stats();
+    assert_eq!(s.plan_hits, 0);
+    assert_eq!(s.plan_misses, 0, "kill switch bypasses the cache entirely");
+}
+
+#[test]
+fn plan_cache_capacity_is_bounded() {
+    let engine = Engine::new();
+    engine.set_plan_cache_capacity(2);
+    for i in 0..4 {
+        let src = format!("{i} + {i}");
+        engine.eval_query(&src).unwrap();
+    }
+    // Re-running the oldest source misses (it was evicted)…
+    engine.eval_query("0 + 0").unwrap();
+    assert_eq!(engine.opt_stats().plan_misses, 5);
+    // …while the newest still hits.
+    engine.eval_query("3 + 3").unwrap();
+    assert_eq!(engine.opt_stats().plan_hits, 1);
+}
+
+#[test]
+fn prepared_constant_folding_matches_unfolded_result() {
+    let engine = Engine::new();
+    let src = "(1 + 2 * 3) = 7";
+    let cached = engine.eval_query(src).unwrap();
+    engine.set_batch(false);
+    let plain = engine.eval_query(src).unwrap();
+    assert_eq!(as_string(&cached), as_string(&plain));
+    assert_eq!(as_string(&cached), "true");
+}

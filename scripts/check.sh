@@ -39,6 +39,14 @@ echo "==> XQSE_DISABLE_OPT=1 cargo test -q $NET --test conformance --test chaos 
 XQSE_DISABLE_OPT=1 cargo test -q $NET --test conformance --test chaos \
     --test use_cases --test figure3
 
+# The prepared-plan cache and batched source access have their own,
+# narrower kill switch (XQSE_DISABLE_BATCH=1 == Engine::set_batch(false))
+# that restores the PR 2/3 parse-per-call, call-per-item behaviour while
+# leaving the pushdown/caching layer on. Same semantic suites again.
+echo "==> XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chaos --test use_cases --test figure3"
+XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chaos \
+    --test use_cases --test figure3
+
 # Lints. Clippy may be absent in minimal toolchains; warn, don't fail.
 # Note: the optimizer-layer modules (xqeval/engine.rs, aldsp/rel.rs,
 # aldsp/introspect.rs) carry in-source `#![deny(clippy::unwrap_used)]`,

@@ -896,3 +896,94 @@ proptest! {
         }
     }
 }
+
+// --------------------------------------------------- batched WS access
+
+/// A flattened FLWOR whose inner for-clause calls the batchable
+/// credit-rating service once per tuple — the evaluator flushes all
+/// requests through one coalesced `call_many` at the iteration
+/// boundary.
+fn rating_batch_query(lo: i64, hi: i64) -> String {
+    format!(
+        "for $i in ({lo} to {hi}) \
+         for $r in cre:getCreditRating(\
+             <getCreditRating><lastName>L</lastName><ssn>{{$i}}</ssn>\
+             </getCreditRating>) \
+         return fn:string($r)"
+    )
+}
+
+#[test]
+fn breaker_opens_mid_batch_flight() {
+    use xqse_repro::aldsp::ws::WebService;
+
+    let space = DataSpace::new();
+    space.register_web_service(WebService::credit_rating("urn:cr")).unwrap();
+    let cre = [("cre", "ld:ws/CreditRating")];
+
+    // Healthy warm-up: one batch of 3 requests, one coalesced flight.
+    // Pin the layer on: CI re-runs this suite under the kill switches.
+    space.engine().set_optimize(true);
+    space.engine().set_batch(true);
+    space.engine().reset_opt_stats();
+    let warm = space.engine().eval_expr_str(&rating_batch_query(1, 3), &cre).unwrap();
+    assert_eq!(warm.len(), 3);
+    let s = space.engine().opt_stats();
+    assert_eq!(s.ws_batches, 1, "3 tuples, one flight");
+    assert_eq!(s.ws_issued, 3);
+
+    // The service starts failing transiently; a tight breaker opens
+    // *during* the retry sequence of a single batch flight.
+    let res = space.install_resilience(Resilience::new(Policy {
+        max_retries: 2,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 1_000,
+        ..Policy::default()
+    }));
+    let inj = space.install_fault_injector(FaultInjector::new(
+        FaultPlan::new().rule(FaultRule::new("CreditRating", Op::Call, FaultKind::Transient)),
+    ));
+
+    // Uncached requests: attempt 1 fails (failure #1), attempt 2 fails
+    // (failure #2 -> breaker OPENS mid-batch), attempt 3 is rejected at
+    // admission -> SRC_UNAVAILABLE; nothing cached, so the whole batch
+    // errors.
+    let err = space
+        .engine()
+        .eval_expr_str(&rating_batch_query(4, 6), &cre)
+        .unwrap_err();
+    assert_eq!(AldspCode::of(&err), Some(AldspCode::SrcUnavailable));
+    {
+        let r = res.lock();
+        assert_eq!(r.breaker_state("CreditRating"), BreakerState::Open);
+        assert_eq!(r.stats().retries, 2, "whole-batch retries, not per item");
+        assert_eq!(r.stats().fast_failures, 1, "third attempt fast-failed");
+        assert_eq!(r.stats().stale_reads, 0, "no cached fallback for new ssns");
+    }
+
+    // The injector saw exactly two *batch* flights of 3 requests — not
+    // six per-item calls.
+    {
+        let inj = inj.lock();
+        assert_eq!(inj.injected_count(), 2);
+        assert!(inj.events().iter().all(|e| e.batch_size == Some(3)));
+    }
+
+    // Warm requests still answer during the outage: the read-through
+    // response cache serves them before the breaker path is consulted.
+    let cached = space.engine().eval_expr_str(&rating_batch_query(1, 3), &cre).unwrap();
+    assert_eq!(
+        cached.iter().map(|i| i.string_value()).collect::<Vec<_>>(),
+        warm.iter().map(|i| i.string_value()).collect::<Vec<_>>()
+    );
+    assert_eq!(res.lock().stats().stale_reads, 0, "served as cache hits, not stale");
+
+    // Heal + cooldown: the half-open probe batch succeeds, and a
+    // second successful flight closes the breaker.
+    space.install_fault_injector(FaultInjector::new(FaultPlan::new()));
+    res.lock().clock().advance(1_000);
+    assert_eq!(space.engine().eval_expr_str(&rating_batch_query(4, 6), &cre).unwrap().len(), 3);
+    assert_eq!(res.lock().breaker_state("CreditRating"), BreakerState::HalfOpen);
+    assert_eq!(space.engine().eval_expr_str(&rating_batch_query(7, 9), &cre).unwrap().len(), 3);
+    assert_eq!(res.lock().breaker_state("CreditRating"), BreakerState::Closed);
+}

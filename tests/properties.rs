@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the invariants DESIGN.md §7
+//! Property-based tests (proptest) over the invariants DESIGN.md §8
 //! calls out: serializer∘parser identity, document order totality,
 //! decimal arithmetic laws, iterate/for agreement, while-loop closed
 //! forms, PUL behaviour, and 2PC atomicity.
@@ -398,6 +398,126 @@ proptest! {
         if let Ok(rx) = xqse_repro::xqeval::regex_lite::Regex::compile(&pattern) {
             let _ = rx.is_match(&text);
             let _ = rx.tokenize(&text);
+        }
+    }
+}
+
+// ------------------------------------------- batched WS equivalence
+
+/// One deterministic fault shape for the credit-rating service. All
+/// variants are chosen so that, with warm response caches, every
+/// access — batched or sequential — is guaranteed to succeed: the
+/// retryable kinds stay within the policy's retry budget, and
+/// `Permanent` outages degrade to stale cache reads.
+#[derive(Debug, Clone)]
+enum WsFault {
+    /// `FailNTimes(k)`, k <= max_retries: absorbed by retry.
+    FailN(u32),
+    /// Capped timeout faults: absorbed by retry.
+    TimeoutN(u32),
+    /// Injected latency (may or may not exceed the timeout budget).
+    Slow { ms: u64, times: u32 },
+}
+
+fn ws_fault_strategy() -> impl Strategy<Value = WsFault> {
+    prop_oneof![
+        (1u32..=3).prop_map(WsFault::FailN),
+        (1u32..=3).prop_map(WsFault::TimeoutN),
+        ((1u32..=3), (1u32..=3))
+            .prop_map(|(i, times)| WsFault::Slow { ms: i as u64 * 400, times }),
+    ]
+}
+
+fn ws_fault_plan(retryable: &Option<WsFault>, outage: bool) -> xqse_repro::aldsp::FaultPlan {
+    use xqse_repro::aldsp::{FaultKind, FaultPlan, FaultRule, Op};
+    let mut plan = FaultPlan::new();
+    if let Some(f) = retryable {
+        let rule = match f {
+            WsFault::FailN(k) => {
+                FaultRule::new("CreditRating", Op::Call, FaultKind::FailNTimes(*k))
+            }
+            WsFault::TimeoutN(k) => {
+                FaultRule::new("CreditRating", Op::Call, FaultKind::Timeout).times(*k)
+            }
+            WsFault::Slow { ms, times } => {
+                FaultRule::new("CreditRating", Op::Call, FaultKind::SlowResponse(*ms))
+                    .times(*times)
+            }
+        };
+        plan = plan.rule(rule);
+    }
+    if outage {
+        plan = plan.rule(FaultRule::new(
+            "CreditRating",
+            Op::Call,
+            xqse_repro::aldsp::FaultKind::Permanent,
+        ));
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched (`call_many`, with request coalescing and one
+    /// resilience transaction per flight) and sequential (`call` per
+    /// request) web-service access return the same values — equal to
+    /// the no-fault ground truth — under every deterministic fault
+    /// plan in the strategy, including a permanent mid-run outage
+    /// where both paths degrade to stale cached responses.
+    #[test]
+    fn batched_ws_access_agrees_with_sequential_under_faults(
+        retryable in proptest::collection::vec(ws_fault_strategy(), 0usize..2),
+        outage in proptest::bool::ANY,
+        picks in proptest::collection::vec(0usize..5, 1..12),
+    ) {
+        use xqse_repro::aldsp::service::DataSpace;
+        use xqse_repro::aldsp::ws::{credit_score, WebService};
+        use xqse_repro::aldsp::{FaultInjector, Policy, Resilience};
+        use xqse_repro::xdm::sequence::{Item, Sequence};
+
+        let retryable = retryable.into_iter().next();
+        let ssns: Vec<String> = (0..5).map(|i| format!("00{i}-11-222{i}")).collect();
+        let mk_request = |ssn: &str| -> Sequence {
+            let xml = format!(
+                "<getCreditRating xmlns=\"urn:cr\">\
+                 <lastName>Doe</lastName><ssn>{ssn}</ssn></getCreditRating>"
+            );
+            Sequence::one(Item::Node(parse(&xml).unwrap().children()[0].clone()))
+        };
+        let truth: Vec<String> =
+            picks.iter().map(|&p| credit_score(&ssns[p], "Doe").to_string()).collect();
+
+        // Two independent services in identically-seeded fault worlds.
+        let seq_svc = WebService::credit_rating("urn:cr");
+        let bat_svc = WebService::credit_rating("urn:cr");
+
+        // Warm every unique request while healthy (both caches).
+        for ssn in &ssns {
+            seq_svc.call("getCreditRating", &mk_request(ssn)).unwrap();
+            bat_svc.call("getCreditRating", &mk_request(ssn)).unwrap();
+        }
+
+        // Install the same plan (fresh budgets) on both.
+        let faulted_access = |plan| {
+            let space = DataSpace::new();
+            space.install_resilience(Resilience::new(Policy::default()));
+            space.install_fault_injector(FaultInjector::new(plan));
+            space.access()
+        };
+        seq_svc.set_access(faulted_access(ws_fault_plan(&retryable, outage)));
+        bat_svc.set_access(faulted_access(ws_fault_plan(&retryable, outage)));
+
+        let requests: Vec<Sequence> = picks.iter().map(|&p| mk_request(&ssns[p])).collect();
+        let batched = bat_svc.call_many("getCreditRating", &requests);
+        prop_assert!(batched.is_ok(), "batched access failed: {:?}", batched.err());
+        for (resp, want) in batched.unwrap().iter().zip(&truth) {
+            prop_assert_eq!(&resp.items()[0].string_value(), want);
+        }
+        for (req, want) in requests.iter().zip(&truth) {
+            let resp = seq_svc.call("getCreditRating", req);
+            prop_assert!(resp.is_ok(), "sequential access failed: {:?}", resp.err());
+            prop_assert_eq!(&resp.unwrap().items()[0].string_value(), want);
         }
     }
 }

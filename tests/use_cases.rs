@@ -8,6 +8,28 @@ use xqse_repro::xdm::qname::QName;
 use xqse_repro::xdm::sequence::{Item, Sequence};
 use xqse_repro::xqeval::Env;
 
+/// Evaluate `src` twice through the statement engine and assert the
+/// second evaluation re-executed the cached prepared plan instead of
+/// re-parsing (the PR 4 observability counters).
+fn assert_plan_cache_round_trip(space: &DataSpace, src: &str) {
+    let eng = space.engine();
+    // Pin the layer on: CI re-runs this suite under the kill switches.
+    eng.set_optimize(true);
+    eng.set_batch(true);
+    eng.reset_opt_stats();
+    let mut env = Env::new();
+    let a = space.xqse().run_with_env(src, &mut env).unwrap();
+    let b = space.xqse().run_with_env(src, &mut env).unwrap();
+    assert_eq!(
+        a.iter().map(|i| i.string_value()).collect::<Vec<_>>(),
+        b.iter().map(|i| i.string_value()).collect::<Vec<_>>(),
+        "cached plan must produce the same result"
+    );
+    let s = eng.opt_stats();
+    assert_eq!(s.plan_misses, 1, "first evaluation compiled the plan");
+    assert_eq!(s.plan_hits, 1, "second evaluation reused it");
+}
+
 fn employees(n: i64) -> Database {
     let db = Database::new("hr");
     db.create_table(TableSchema {
@@ -82,6 +104,12 @@ declare procedure tns:deleteByEmployeeID($id as xs:string) as empty-sequence()
         )
         .unwrap();
     assert_eq!(db.row_count("EMPLOYEE").unwrap(), 9);
+    // Repeated read-back of the table goes through the plan cache.
+    assert_plan_cache_round_trip(
+        &space,
+        "declare namespace ens1 = \"ld:hr/EMPLOYEE\"; \
+         fn:count(ens1:EMPLOYEE())",
+    );
 }
 
 /// Use case 2: imperative computation — the management chain.
@@ -129,6 +157,12 @@ declare xqse function tns:getManagementChain($id as xs:string)
         )
         .unwrap();
     assert_eq!(out.string_value().unwrap(), "0");
+    // The chain query itself is plan-cacheable across evaluations.
+    assert_plan_cache_round_trip(
+        &space,
+        "declare namespace tns = \"urn:tns\"; \
+         for $m in tns:getManagementChain('16') return fn:data($m/EmployeeID)",
+    );
 }
 
 /// Use case 3: transform and copy across differently-shaped sources.
@@ -206,6 +240,12 @@ declare procedure tns:copyAllToEMP2() as xs:integer
     // <MgrName/>, which maps to the empty string on a VARCHAR column.
     let row = dst.select("EMP2", &vec![("EmpId".into(), SqlValue::Int(1))]).unwrap();
     assert_eq!(row[0][3], SqlValue::Str(String::new()));
+    // Verifying the copy is a repeatable, plan-cacheable read.
+    assert_plan_cache_round_trip(
+        &space,
+        "declare namespace emp2 = \"ld:warehouse/EMP2\"; \
+         fn:count(emp2:EMP2())",
+    );
 }
 
 /// Use case 4: replicating create with per-source error wrapping.
@@ -284,6 +324,13 @@ declare procedure tns:create($newEmps as element(EMPLOYEE)*) as xs:integer
         .unwrap_err();
     assert_eq!(err.code, QName::new("SECONDARY_CREATE_FAILURE"));
     assert_eq!(primary.row_count("EMPLOYEE").unwrap(), 6);
+    // Auditing replica divergence is a plan-cacheable read.
+    assert_plan_cache_round_trip(
+        &space,
+        "declare namespace p = \"ld:p1/EMPLOYEE\"; \
+         declare namespace b = \"ld:p2/EMPLOYEE\"; \
+         fn:count(b:EMPLOYEE()) - fn:count(p:EMPLOYEE())",
+    );
 }
 
 /// The readonly management-chain procedure composes into optimizable
@@ -323,4 +370,12 @@ declare xqse function tns:depth($id as xs:string) as xs:integer
         )
         .unwrap();
     assert_eq!(out.string_value().unwrap(), "3"); // 8->4->2->1
+    // The interop query re-runs from the plan cache.
+    assert_plan_cache_round_trip(
+        &space,
+        "declare namespace tns = \"urn:tns\"; \
+         declare namespace ens1 = \"ld:hr/EMPLOYEE\"; \
+         fn:max(for $e in ens1:EMPLOYEE() \
+                return tns:depth(fn:data($e/EmployeeID)))",
+    );
 }
