@@ -505,6 +505,17 @@ pub fn introspect_web_service(
     ws: &Rc<WebService>,
 ) -> XdmResult<DataService> {
     let ns = format!("ld:ws/{}", ws.name);
+    // Handlers are arbitrary closures: a procedure call, update
+    // statement, or datagraph submission may change what the service
+    // would answer. The statement engine reports those through
+    // `Engine::note_source_write`; bump the service's read-through
+    // epoch there so the persistent response cache stops serving
+    // pre-write responses on the normal path (stale-read degradation
+    // still may, explicitly counted).
+    {
+        let ws2 = ws.clone();
+        engine.register_write_listener(Rc::new(move || ws2.invalidate_read_through()));
+    }
     let mut methods = Vec::new();
     for op_name in ws.operation_names() {
         let qname = QName::with_ns(ns.clone(), op_name.clone());

@@ -404,7 +404,7 @@ impl DataSpace {
                 )
             })?;
         let ovr = meta.borrow().update_override.clone();
-        self.access().run(&graph.service, Op::Submit, || match &ovr {
+        let out = self.access().run(&graph.service, Op::Submit, || match &ovr {
             UpdateOverride::None => self.default_submit_raw(graph),
             UpdateOverride::Rust(f) => f(self, graph),
             UpdateOverride::Procedure(name) => {
@@ -419,7 +419,15 @@ impl DataSpace {
                     )], &mut env)
                     .map(|_| ())
             }
-        })
+        });
+        if out.is_ok() {
+            // A committed submission may have changed what dependent
+            // sources would answer (web-service handlers are arbitrary
+            // closures); their read-through caches must not keep
+            // serving pre-submit responses on the fresh path.
+            self.engine().note_source_write();
+        }
+        out
     }
 
     /// Render the ALDSP "design view" of a data service (Figure 1):

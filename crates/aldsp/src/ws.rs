@@ -7,7 +7,7 @@
 //! introspection → library-data-service → XQuery-call path as the
 //! paper's document-style credit-rating service.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -60,11 +60,20 @@ pub struct WebService {
     operations: HashMap<String, WsOperation>,
     order: Vec<String>,
     access: Rc<RefCell<Access>>,
-    /// Bounded (LRU) response store keyed by request fingerprint.
-    /// Serves two roles: the stale-read fallback when the service is
-    /// down, and the read-through cache for repeated identical
-    /// requests when the engine's batch layer is on.
-    response_cache: Rc<RefCell<Lru<String, Sequence>>>,
+    /// Bounded (LRU) response store keyed by request fingerprint,
+    /// each entry stamped with the [`WebService::write_epoch`] it was
+    /// inserted under. Serves two roles: the stale-read fallback when
+    /// the service is down (any epoch — staleness is explicit and
+    /// counted there), and the read-through cache for repeated
+    /// identical requests when the engine's batch layer is on
+    /// (current epoch only — see [`WebService::cached`]).
+    response_cache: Rc<RefCell<Lru<String, (u64, Sequence)>>>,
+    /// Bumped by [`WebService::invalidate_read_through`] whenever a
+    /// statement may have written a source: handlers are arbitrary
+    /// closures, so a procedure call or submission may change what
+    /// the service would answer, and the *fresh* read path must not
+    /// keep serving pre-write responses.
+    write_epoch: Rc<Cell<u64>>,
 }
 
 impl WebService {
@@ -77,6 +86,7 @@ impl WebService {
             order: Vec::new(),
             access: Rc::new(RefCell::new(Access::none())),
             response_cache: Rc::new(RefCell::new(Lru::new(RESPONSE_CACHE_CAPACITY))),
+            write_epoch: Rc::new(Cell::new(0)),
         }
     }
 
@@ -94,10 +104,12 @@ impl WebService {
         self.response_cache.borrow().len()
     }
 
-    /// Insert a response, counting any forced LRU eviction in
+    /// Insert a response stamped with the current write epoch,
+    /// counting any forced LRU eviction in
     /// [`crate::ResilienceStats::cache_evictions`].
     fn cache_insert(&self, key: String, resp: Sequence) {
-        if self.response_cache.borrow_mut().insert(key, resp).is_some() {
+        let entry = (self.write_epoch.get(), resp);
+        if self.response_cache.borrow_mut().insert(key, entry).is_some() {
             self.note_eviction();
         }
     }
@@ -109,11 +121,32 @@ impl WebService {
     }
 
     /// A cached response for this exact (operation, request) pair, if
-    /// one is still resident. Refreshes the entry's LRU recency: the
-    /// read-through path is the reason an entry is worth keeping.
+    /// one is still resident *and* no source write has happened since
+    /// it was stored — the batch layer's normal-path read-through must
+    /// never serve a pre-write response as if it were fresh (entries
+    /// from older epochs remain available to the explicit, counted
+    /// stale-read degradation path only). Refreshes the entry's LRU
+    /// recency on a hit: the read-through path is the reason an entry
+    /// is worth keeping.
     pub fn cached(&self, name: &str, request: &Sequence) -> Option<Sequence> {
         let key = request_fingerprint(name, request);
-        self.response_cache.borrow_mut().get(&key).cloned()
+        let epoch = self.write_epoch.get();
+        match self.response_cache.borrow_mut().get(&key) {
+            Some((e, resp)) if *e == epoch => Some(resp.clone()),
+            _ => None,
+        }
+    }
+
+    /// Invalidate the fresh read-through path: responses cached before
+    /// this call stop being served by [`WebService::cached`], though
+    /// they stay resident for stale-read degradation. Wired to
+    /// [`xqeval::Engine::note_source_write`] at introspection time, so
+    /// every statement that may have written a source (procedure call,
+    /// update statement, datagraph submission) bumps the epoch — the
+    /// cross-call companion of the per-evaluation `ws_memo` clear in
+    /// `Env::note_write`.
+    pub fn invalidate_read_through(&self) {
+        self.write_epoch.set(self.write_epoch.get() + 1);
     }
 
     /// Install (or replace) the fault-injection / resilience handle
@@ -181,7 +214,10 @@ impl WebService {
                 self.cache_insert(key.clone(), resp.clone());
                 Ok(resp)
             },
-            || self.response_cache.borrow().peek(&key).cloned(),
+            // Stale-read fallback: any resident response qualifies,
+            // whatever its epoch — this path is the explicit, counted
+            // degraded read.
+            || self.response_cache.borrow().peek(&key).map(|(_, r)| r.clone()),
         )
     }
 
@@ -232,7 +268,7 @@ impl WebService {
                 self.cache_insert(keys[u].clone(), resp.clone());
                 Ok(resp)
             },
-            |u| self.response_cache.borrow().peek(&keys[u]).cloned(),
+            |u| self.response_cache.borrow().peek(&keys[u]).map(|(_, r)| r.clone()),
         )?;
         Ok(slots.into_iter().map(|s| responses[s].clone()).collect())
     }
@@ -472,6 +508,60 @@ mod tests {
         }
         assert_eq!(svc.response_cache_len(), 2, "cache stays at capacity");
         assert_eq!(res.lock().stats().cache_evictions, 2, "two forced evictions");
+    }
+
+    #[test]
+    fn write_invalidates_read_through_but_not_stale_fallback() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+        use crate::resilience::{Policy, Resilience};
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        // A handler backed by mutable state: its answer changes after
+        // a "write".
+        let state = Rc::new(std::cell::Cell::new(1i64));
+        let mut svc = WebService::new("Mut", "urn:mut");
+        let st = Rc::clone(&state);
+        svc.add_operation(
+            "val",
+            "req",
+            "resp",
+            Rc::new(move |_req| Ok(Sequence::one(Item::string(st.get().to_string())))),
+        );
+        let req = Sequence::one(Item::string("k"));
+        assert_eq!(svc.call("val", &req).unwrap().items()[0].string_value(), "1");
+        assert!(svc.cached("val", &req).is_some(), "read-through warm");
+
+        // The write (reported by the engine's write listeners).
+        state.set(2);
+        svc.invalidate_read_through();
+        assert!(
+            svc.cached("val", &req).is_none(),
+            "fresh path must not serve the pre-write response"
+        );
+        assert_eq!(
+            svc.call("val", &req).unwrap().items()[0].string_value(),
+            "2",
+            "the re-issued call observes the post-write answer"
+        );
+        assert!(svc.cached("val", &req).is_some(), "re-stamped at the new epoch");
+
+        // Old-epoch entries still serve the *explicit* degraded path:
+        // bump again, then take the service down — the read answers
+        // from the resident (pre-write) entry and is counted stale.
+        let res = Arc::new(Mutex::new(Resilience::new(Policy::default())));
+        svc.set_access(Access {
+            injector: Some(Arc::new(Mutex::new(FaultInjector::new(
+                FaultPlan::new()
+                    .rule(FaultRule::any_op("Mut", FaultKind::Permanent)),
+            )))),
+            resilience: Some(Arc::clone(&res)),
+        });
+        state.set(3);
+        svc.invalidate_read_through();
+        let r = svc.call("val", &req).unwrap();
+        assert_eq!(r.items()[0].string_value(), "2", "outage serves the stale entry");
+        assert_eq!(res.lock().stats().stale_reads, 1, "counted as a stale read");
     }
 
     #[test]

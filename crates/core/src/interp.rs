@@ -360,6 +360,7 @@ fn exec_update_like(engine: &Engine, expr: &Expr, env: &mut Env) -> XdmResult<()
         // write epoch.
         env.invalidate_caches();
         engine.invalidate_materialization();
+        engine.note_source_write();
     }
     Ok(())
 }
@@ -432,7 +433,11 @@ pub fn call_procedure_stmt(
                 // effects land through source procedures, not PUL node
                 // edits). Bump the write epoch only: version-stamped
                 // cache entries over sources it did not touch survive.
+                // Cross-call web-service read-through caches are
+                // notified too (the per-Env ws_memo clear alone does
+                // not reach them).
                 env.note_write();
+                engine.note_source_write();
             }
             out
         }
@@ -440,6 +445,7 @@ pub fn call_procedure_stmt(
             let out = f(env, args);
             if !readonly {
                 env.note_write();
+                engine.note_source_write();
             }
             out
         }

@@ -10,6 +10,7 @@
 
 #![deny(clippy::unwrap_used)]
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -57,7 +58,15 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     }
 
     /// Look up a key, marking it most-recently-used on a hit.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
+    ///
+    /// Borrow-generic like [`HashMap::get`] so hot paths (the plan
+    /// cache probing by `&str`) never allocate an owned key just to
+    /// check for a hit; only a miss's insert pays for the owned key.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(key) {
@@ -71,7 +80,11 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
 
     /// Peek without touching recency (used by stale-read fallbacks,
     /// which must not keep a dead entry warm).
-    pub fn peek(&self, key: &K) -> Option<&V> {
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
         self.map.get(key).map(|(_, v)| v)
     }
 

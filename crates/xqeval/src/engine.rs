@@ -208,8 +208,12 @@ pub struct PreparedQuery {
     folded_body: Option<Expr>,
     /// Call sites resolved against the registries at prepare time.
     resolved: HashMap<(QName, usize), fold::ResolvedBinding>,
-    /// Global variable values computed by the prolog load, re-installed
-    /// verbatim on every plan-cache hit (prolog-load-once semantics).
+    /// *Initialized* global variable values computed by the prolog
+    /// load, re-installed verbatim on every plan-cache hit
+    /// (prolog-load-once semantics). External variables are
+    /// deliberately absent: they are the ALDSP parameter mechanism
+    /// and must read through to the engine's live globals map so
+    /// [`Engine::set_global`] re-binds are observed by cached plans.
     globals: Vec<(QName, Sequence)>,
     /// Registry generation this plan was prepared against (the
     /// "prolog fingerprint" half of the cache key): a later external
@@ -288,6 +292,14 @@ pub struct Engine {
     /// [`Engine::invalidate_materialization`] when an update statement
     /// may have mutated cached trees in place.
     mat_flushers: RefCell<Vec<Rc<dyn Fn()>>>,
+    /// Hooks notified by [`Engine::note_source_write`] whenever a
+    /// statement may have written *some* source (procedure calls,
+    /// update statements, datagraph submissions) — the cross-call
+    /// companion of [`crate::Env::note_write`]. Web-service sources
+    /// register an epoch bump here so their persistent read-through
+    /// response caches stop serving pre-write responses on the fresh
+    /// path (stale-read degradation still may).
+    write_listeners: RefCell<Vec<Rc<dyn Fn()>>>,
     /// Whether the PR 4 executor layer (prepared-plan reuse + batched
     /// / memoized source access) is enabled. Separate from
     /// [`Engine::optimize`] so `XQSE_DISABLE_BATCH=1` restores exactly
@@ -342,6 +354,7 @@ impl Engine {
             opt_mirrors: RefCell::new(Vec::new()),
             capabilities: RefCell::new(HashMap::new()),
             mat_flushers: RefCell::new(Vec::new()),
+            write_listeners: RefCell::new(Vec::new()),
             // `XQSE_DISABLE_BATCH=1` switches off the prepared-plan /
             // batched-source layer only, reproducing the PR 2
             // optimizer generation — the third dual-mode CI arm.
@@ -546,6 +559,23 @@ impl Engine {
         self.opt.mat_invalidations.set(self.opt.mat_invalidations.get() + n);
     }
 
+    /// Register a hook to be notified on [`Engine::note_source_write`]
+    /// (web-service read-through caches invalidate themselves here).
+    pub fn register_write_listener(&self, f: Rc<dyn Fn()>) {
+        self.write_listeners.borrow_mut().push(f);
+    }
+
+    /// Notify every write listener that a statement may have written a
+    /// source. Called by the statement engine alongside
+    /// [`crate::Env::note_write`] (non-readonly procedure calls,
+    /// update statements) and by the ALDSP tier after datagraph
+    /// submissions.
+    pub fn note_source_write(&self) {
+        for f in self.write_listeners.borrow().iter() {
+            f();
+        }
+    }
+
     /// Snapshot of the optimizer counters.
     pub fn opt_stats(&self) -> OptStats {
         OptStats {
@@ -683,8 +713,12 @@ impl Engine {
     /// plans are memoized by source text and revalidated against the
     /// registry generation ("prolog fingerprint"); a hit skips the
     /// parse and the prolog load entirely, re-installing the plan's
-    /// own prolog declarations and captured global values so the plan
-    /// always executes against the prolog it was compiled with. With
+    /// own prolog declarations and captured *initialized* global
+    /// values so the plan always executes against the prolog it was
+    /// compiled with. External variables (ALDSP parameters) are not
+    /// captured: they read through to the live globals map, so
+    /// [`Engine::set_global`] re-binds between executions are
+    /// honored without invalidating the plan. With
     /// the cache disabled this degenerates to parse-per-call (the
     /// PR 2 behavior) and skips the analysis pass.
     pub fn prepare(&self, src: &str) -> XdmResult<Rc<PreparedQuery>> {
@@ -692,7 +726,7 @@ impl Engine {
             return self.prepare_uncached(src, false);
         }
         let gen = self.registry_gen.get();
-        let hit = self.plan_cache.borrow_mut().get(&src.to_string()).cloned();
+        let hit = self.plan_cache.borrow_mut().get(src).cloned();
         if let Some(pq) = hit {
             if pq.gen == gen {
                 OptCounters::bump(&self.opt.plan_hits);
@@ -711,6 +745,15 @@ impl Engine {
         self.load_prolog(&module)?;
         let mut globals = Vec::new();
         for v in &module.prolog.variables {
+            // Capture only *initialized* declarations. External
+            // variables are the ALDSP parameter mechanism
+            // ([`Engine::set_global`]); freezing their current value
+            // into the plan would clobber a re-bind between
+            // executions, so they read through to the live globals
+            // map instead.
+            if v.value.is_none() {
+                continue;
+            }
             if let Some(val) = self.globals.borrow().get(&v.name) {
                 globals.push((v.name.clone(), val.clone()));
             }

@@ -789,7 +789,17 @@ impl<'e> Evaluator<'e> {
                     // variables) is hoisted and issued once. Requests
                     // are flushed in tuple order, so the first failing
                     // request surfaces exactly the error sequential
-                    // evaluation would have raised.
+                    // evaluation would have raised. Because request
+                    // *expressions* are all evaluated before any call
+                    // is issued, a later tuple whose request
+                    // expression itself raises aborts the whole flush
+                    // before the first source call — sequential
+                    // evaluation would have performed (and counted,
+                    // and breaker/injector-accounted) the earlier
+                    // tuples' calls first. The final value and error
+                    // are identical either way; only handler side
+                    // effects, ws_* counters, and resilience
+                    // accounting for those never-issued calls differ.
                     if pos.is_none()
                         && !tuples.is_empty()
                         && self.engine.optimize_enabled()

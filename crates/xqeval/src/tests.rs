@@ -962,6 +962,37 @@ fn plan_cache_capacity_is_bounded() {
 }
 
 #[test]
+fn rebinding_external_variable_is_seen_by_cached_plans() {
+    // External variables are the ALDSP parameter mechanism: the same
+    // prepared plan is executed many times with different bindings.
+    // A plan-cache hit must read the *live* binding, not a value
+    // frozen at prepare time.
+    let engine = Engine::new();
+    let x = QName::new("x");
+    engine.set_global(x.clone(), Sequence::one(Item::integer(1)));
+    let src = "declare variable $x external; $x + 0";
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "1");
+    engine.set_global(x, Sequence::one(Item::integer(2)));
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "2");
+    let s = engine.opt_stats();
+    assert_eq!(s.plan_misses, 1, "compiled once");
+    assert_eq!(s.plan_hits, 1, "the re-bind did not invalidate the plan");
+}
+
+#[test]
+fn cached_plans_mix_initialized_and_external_variables() {
+    // Initialized declarations are captured and re-installed verbatim
+    // on a hit; external ones read through — both in one prolog.
+    let engine = Engine::new();
+    let p = QName::new("p");
+    engine.set_global(p.clone(), Sequence::one(Item::integer(10)));
+    let src = "declare variable $k := 7; declare variable $p external; $k + $p";
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "17");
+    engine.set_global(p, Sequence::one(Item::integer(20)));
+    assert_eq!(as_string(&engine.eval_query(src).unwrap()), "27");
+}
+
+#[test]
 fn prepared_constant_folding_matches_unfolded_result() {
     let engine = Engine::new();
     let src = "(1 + 2 * 3) = 7";

@@ -379,3 +379,69 @@ declare xqse function tns:depth($id as xs:string) as xs:integer
                 return tns:depth(fn:data($e/EmployeeID)))",
     );
 }
+
+/// A web-service-backed answer that changes after a procedure write:
+/// the batch layer's persistent read-through response cache must not
+/// keep serving the pre-write response on the normal (fresh) path.
+/// The statement engine reports the write via
+/// `Engine::note_source_write`, which bumps the service's
+/// read-through epoch.
+#[test]
+fn procedure_write_invalidates_ws_read_through() {
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use xqse_repro::aldsp::ws::WebService;
+
+    // A service whose answer depends on mutable backing state.
+    let state = Rc::new(Cell::new(1i64));
+    let mut svc = WebService::new("Mut", "urn:mut");
+    let st = Rc::clone(&state);
+    svc.add_operation(
+        "val",
+        "req",
+        "resp",
+        Rc::new(move |_req| Ok(Sequence::one(Item::string(st.get().to_string())))),
+    );
+    let space = DataSpace::new();
+    space.register_web_service(svc).unwrap();
+    let eng = space.engine();
+    // Pin the batch layer on: CI re-runs this suite under the kill
+    // switches, and the read-through cache only engages with it.
+    eng.set_optimize(true);
+    eng.set_batch(true);
+    // A non-readonly external procedure standing in for a submission
+    // that changes what the service would answer.
+    let st = Rc::clone(&state);
+    eng.register_external_procedure(
+        QName::with_ns("urn:tns", "poke"),
+        0,
+        false,
+        Rc::new(move |_e, _a| {
+            st.set(st.get() + 1);
+            Ok(Sequence::empty())
+        }),
+    );
+
+    let read = "declare namespace mut = \"ld:ws/Mut\"; mut:val(\"k\")";
+    let mut env = Env::new();
+    let a = space.xqse().run_with_env(read, &mut env).unwrap();
+    assert_eq!(a.items()[0].string_value(), "1");
+    // Warm repeat: served without re-invoking the handler.
+    eng.reset_opt_stats();
+    let b = space.xqse().run_with_env(read, &mut env).unwrap();
+    assert_eq!(b.items()[0].string_value(), "1");
+    assert_eq!(eng.opt_stats().ws_issued, 0, "repeat was coalesced");
+
+    // The write, through statement context (the ALDSP entry point).
+    space
+        .xqse()
+        .call_procedure(&QName::with_ns("urn:tns", "poke"), vec![], &mut env)
+        .unwrap();
+
+    let c = space.xqse().run_with_env(read, &mut env).unwrap();
+    assert_eq!(
+        c.items()[0].string_value(),
+        "2",
+        "the fresh read path must observe the post-write answer"
+    );
+}
