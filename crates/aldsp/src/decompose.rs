@@ -9,6 +9,19 @@
 //! conditioned into the generated `UPDATE … WHERE` statements; and the
 //! whole operation executes under two-phase commit when several
 //! sources are touched.
+//!
+//! Multi-source execution runs the *journaled* coordinator
+//! ([`TwoPhaseCoordinator::run_journaled`]): every protocol point is
+//! recorded in the space's [`crate::journal::CoordinatorJournal`]
+//! before it advances, so a coordinator crash (injected
+//! `FaultKind::CrashPoint`, surfacing as `aldsp:XA_COORD_CRASH`)
+//! leaves enough state for [`DataSpace::recover`] to finish or undo
+//! the transaction.
+
+// This is the write path: a panic here poisons nothing (parking_lot)
+// but still kills the submit mid-protocol without a journal record —
+// everything must degrade through typed Results.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -142,9 +155,8 @@ pub fn decompose_update(
             ));
         };
         let new_value = leaf.string_value();
-        let entry = rows.iter_mut().find(|r| r.row_element == row_element);
-        let delta = match entry {
-            Some(d) => d,
+        let pos = match rows.iter().position(|r| r.row_element == row_element) {
+            Some(p) => p,
             None => {
                 rows.push(RowDelta {
                     source: shape.source.clone(),
@@ -153,10 +165,12 @@ pub fn decompose_update(
                     shape_element: shape.element.clone(),
                     changed: Vec::new(),
                 });
-                rows.last_mut().expect("just pushed")
+                rows.len() - 1
             }
         };
-        delta.changed.push((column.to_string(), change.old.clone(), new_value));
+        if let Some(delta) = rows.get_mut(pos) {
+            delta.changed.push((column.to_string(), change.old.clone(), new_value));
+        }
     }
 
     // Build one conditioned UPDATE per affected row.
@@ -336,7 +350,16 @@ pub fn execute(space: &DataSpace, plan: DecompositionPlan) -> XdmResult<()> {
         Some((db, ops)) if participants.is_empty() => db.execute(ops),
         Some(last) => {
             participants.push(last);
-            match TwoPhaseCoordinator::new(participants).run() {
+            // The journaled driver: protocol points are logged to the
+            // space's coordinator journal and crash-injectable. A
+            // crash (`Err(aldsp:XA_COORD_CRASH)`) propagates directly
+            // — it is an infrastructure fault by construction, and
+            // unlike an abort there is nothing tidy to report: sources
+            // are divergent until `DataSpace::recover()` runs.
+            let injector = space.access().injector.clone();
+            match TwoPhaseCoordinator::new(participants)
+                .run_journaled(&space.journal(), injector.as_ref())?
+            {
                 TxOutcome::Committed => Ok(()),
                 // Infrastructure faults (aldsp:SRC_*, aldsp:TX_ABORTED)
                 // propagate with their typed code so an XQSE `catch

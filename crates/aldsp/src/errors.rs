@@ -54,6 +54,25 @@ pub enum AldspCode {
     TxAborted,
     /// Optimistic-concurrency "sameness" check failed at update time.
     OccConflict,
+    /// The 2PC coordinator crashed mid-protocol (injected
+    /// `FaultKind::CrashPoint`). Sources may be left in genuinely
+    /// partial states — some committed, some still holding prepared
+    /// locks — until [`crate::service::DataSpace::recover`] replays
+    /// the coordinator journal. Not retryable: retrying would start a
+    /// *new* transaction, not resolve the interrupted one.
+    XaCoordCrash,
+    /// A branch is in doubt: prepared, but the coordinator journal has
+    /// no commit decision for its transaction. Recovery resolves these
+    /// by presumed abort. Not retryable.
+    XaInDoubt,
+    /// A coordinator journal record failed its checksum or could not
+    /// be decoded. The damaged suffix is skipped; transactions whose
+    /// decision lived there are treated as in doubt. Not retryable.
+    XaJournalCorrupt,
+    /// Replaying a journaled decision against a source failed in a way
+    /// idempotent branch operations cannot absorb (e.g. prepared state
+    /// vanished while writes were still pending). Not retryable.
+    XaReplayFailed,
 }
 
 impl AldspCode {
@@ -66,6 +85,10 @@ impl AldspCode {
             AldspCode::SrcBadRequest => "SRC_BAD_REQUEST",
             AldspCode::TxAborted => "TX_ABORTED",
             AldspCode::OccConflict => "OCC_CONFLICT",
+            AldspCode::XaCoordCrash => "XA_COORD_CRASH",
+            AldspCode::XaInDoubt => "XA_IN_DOUBT",
+            AldspCode::XaJournalCorrupt => "XA_JOURNAL_CORRUPT",
+            AldspCode::XaReplayFailed => "XA_REPLAY_FAILED",
         }
     }
 
@@ -100,6 +123,10 @@ impl AldspCode {
             "SRC_BAD_REQUEST" => Some(AldspCode::SrcBadRequest),
             "TX_ABORTED" => Some(AldspCode::TxAborted),
             "OCC_CONFLICT" => Some(AldspCode::OccConflict),
+            "XA_COORD_CRASH" => Some(AldspCode::XaCoordCrash),
+            "XA_IN_DOUBT" => Some(AldspCode::XaInDoubt),
+            "XA_JOURNAL_CORRUPT" => Some(AldspCode::XaJournalCorrupt),
+            "XA_REPLAY_FAILED" => Some(AldspCode::XaReplayFailed),
         _ => None,
         }
     }
@@ -130,6 +157,10 @@ mod taxonomy_tests {
             AldspCode::SrcBadRequest,
             AldspCode::TxAborted,
             AldspCode::OccConflict,
+            AldspCode::XaCoordCrash,
+            AldspCode::XaInDoubt,
+            AldspCode::XaJournalCorrupt,
+            AldspCode::XaReplayFailed,
         ] {
             let q = code.qname();
             assert_eq!(q.ns.as_deref(), Some(ALDSP_ERR_NS));
@@ -148,6 +179,10 @@ mod taxonomy_tests {
         assert!(!AldspCode::SrcBadRequest.retryable());
         assert!(!AldspCode::TxAborted.retryable());
         assert!(!AldspCode::OccConflict.retryable());
+        assert!(!AldspCode::XaCoordCrash.retryable());
+        assert!(!AldspCode::XaInDoubt.retryable());
+        assert!(!AldspCode::XaJournalCorrupt.retryable());
+        assert!(!AldspCode::XaReplayFailed.retryable());
     }
 
     #[test]

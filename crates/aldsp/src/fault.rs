@@ -46,6 +46,19 @@ pub enum Op {
     Get,
     /// Data-space update submission (`submit` / `default_submit`).
     Submit,
+    /// 2PC protocol point: coordinator wrote `Begin` to its journal
+    /// (source name is always `"coordinator"`).
+    XaBegin,
+    /// 2PC protocol point: one branch prepared and its `Prepared`
+    /// record was journaled (source name is the branch's database).
+    XaPrepared,
+    /// 2PC protocol point: the `CommitDecision` record was journaled
+    /// (source name is `"coordinator"`).
+    XaDecide,
+    /// 2PC protocol point: one branch committed, but its `Committed`
+    /// record is *not yet* journaled (source name is the branch's
+    /// database).
+    XaCommit,
 }
 
 impl fmt::Display for Op {
@@ -58,6 +71,10 @@ impl fmt::Display for Op {
             Op::Call => "call",
             Op::Get => "get",
             Op::Submit => "submit",
+            Op::XaBegin => "xa-begin",
+            Op::XaPrepared => "xa-prepared",
+            Op::XaDecide => "xa-decide",
+            Op::XaCommit => "xa-commit",
         })
     }
 }
@@ -78,6 +95,14 @@ pub enum FaultKind {
     /// Raise `aldsp:SRC_TRANSIENT` for the first `k` firings, then
     /// stop matching (the canonical "transient blip" rule).
     FailNTimes(u32),
+    /// Kill the 2PC coordinator at the matched protocol point
+    /// (`Op::XaBegin`/`XaPrepared`/`XaDecide`/`XaCommit`): the
+    /// coordinator unwinds with `aldsp:XA_COORD_CRASH`, leaving
+    /// sources in whatever partial state the protocol had reached —
+    /// prepared locks held, or some branches committed and others not.
+    /// Defaults to a budget of **1** (a process crashes once), so a
+    /// later `DataSpace::recover()` / retried submit runs unimpeded.
+    CrashPoint,
 }
 
 /// One entry in a [`FaultPlan`].
@@ -107,6 +132,7 @@ impl FaultRule {
             kind,
             budget: match kind {
                 FaultKind::FailNTimes(k) => k,
+                FaultKind::CrashPoint => 1,
                 _ => u32::MAX,
             },
             probability: 1.0,
@@ -182,6 +208,12 @@ pub enum Injected {
     /// Let the call proceed, but charge this many virtual
     /// milliseconds of latency first.
     Delay(u64),
+    /// Kill the coordinator here: the 2PC driver unwinds immediately
+    /// with `aldsp:XA_COORD_CRASH` and performs **no** cleanup —
+    /// unlike `Error`, which aborts the transaction tidily. Only the
+    /// coordinator's crash-check points honour this; ordinary source
+    /// calls treat it like a permanent error.
+    Crash,
 }
 
 /// A record of one injected fault, for assertions and reporting.
@@ -198,13 +230,31 @@ pub struct FaultEvent {
     pub batch_size: Option<usize>,
 }
 
+/// Default capacity of the injector's event ring. Big enough that
+/// every existing chaos test sees all its events; small enough that a
+/// soak run injecting millions of faults stays bounded.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
 /// Deterministic fault injector: consult [`FaultInjector::on_call`]
 /// before performing a source operation.
-#[derive(Debug, Default)]
+///
+/// The event log is a capped ring: once `capacity` events are held,
+/// each new event evicts the oldest and bumps
+/// [`FaultInjector::dropped_events`], so unbounded chaos runs don't
+/// grow memory without limit.
+#[derive(Debug)]
 pub struct FaultInjector {
     rules: Vec<FaultRule>,
     rng: u64,
-    log: Vec<FaultEvent>,
+    log: std::collections::VecDeque<FaultEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> FaultInjector {
+        FaultInjector::new(FaultPlan::default())
+    }
 }
 
 /// splitmix64 step — tiny, seedable, good enough for fault dice.
@@ -222,8 +272,34 @@ impl FaultInjector {
         FaultInjector {
             rules: plan.rules,
             rng: plan.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
-            log: Vec::new(),
+            log: std::collections::VecDeque::new(),
+            capacity: DEFAULT_EVENT_CAPACITY,
+            dropped: 0,
         }
+    }
+
+    /// Cap the event ring at `capacity` events (builder style). A
+    /// capacity of 0 keeps no events at all — every injection counts
+    /// as dropped.
+    pub fn with_event_capacity(mut self, capacity: usize) -> FaultInjector {
+        self.capacity = capacity;
+        while self.log.len() > self.capacity {
+            self.log.pop_front();
+            self.dropped += 1;
+        }
+        self
+    }
+
+    fn push_event(&mut self, event: FaultEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.log.len() >= self.capacity {
+            self.log.pop_front();
+            self.dropped += 1;
+        }
+        self.log.push_back(event);
     }
 
     /// Decide the fate of one call against `source`/`op`.
@@ -257,8 +333,9 @@ impl FaultInjector {
                     AldspCode::SrcTimeout.error(format!("injected timeout on {source}/{op}")),
                 ),
                 FaultKind::SlowResponse(ms) => Injected::Delay(ms),
+                FaultKind::CrashPoint => Injected::Crash,
             };
-            self.log.push(FaultEvent {
+            self.push_event(FaultEvent {
                 source: source.to_string(),
                 op,
                 injected: injected.clone(),
@@ -278,21 +355,35 @@ impl FaultInjector {
     pub fn on_batch(&mut self, source: &str, op: Op, size: usize) -> Option<Injected> {
         let verdict = self.on_call(source, op);
         if verdict.is_some() {
-            if let Some(ev) = self.log.last_mut() {
+            if let Some(ev) = self.log.back_mut() {
                 ev.batch_size = Some(size);
             }
         }
         verdict
     }
 
-    /// Every fault injected so far, in order.
-    pub fn events(&self) -> &[FaultEvent] {
-        &self.log
+    /// Every *retained* fault injected so far, in order. When the ring
+    /// has overflowed, the oldest events are gone — check
+    /// [`FaultInjector::dropped_events`] before assuming completeness.
+    pub fn events(&mut self) -> &[FaultEvent] {
+        self.log.make_contiguous();
+        self.log.as_slices().0
     }
 
-    /// How many faults have been injected so far.
+    /// How many faults have been injected so far (retained + dropped).
     pub fn injected_count(&self) -> usize {
-        self.log.len()
+        self.log.len() + self.dropped as usize
+    }
+
+    /// How many events the ring has evicted (or refused, at capacity
+    /// 0) since construction.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The ring's current capacity.
+    pub fn event_capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -352,6 +443,41 @@ mod fault_tests {
         assert_eq!(mk(7), mk(7), "same seed, same fault sequence");
         assert_ne!(mk(7), mk(8), "different seeds diverge");
         assert!(mk(7).iter().any(|&b| b) && mk(7).iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn crash_point_fires_once_and_injects_crash() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new("coordinator", Op::XaDecide, FaultKind::CrashPoint));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_call("coordinator", Op::XaDecide), Some(Injected::Crash));
+        assert_eq!(
+            inj.on_call("coordinator", Op::XaDecide),
+            None,
+            "a process crashes once; the default budget is 1"
+        );
+    }
+
+    #[test]
+    fn event_ring_caps_and_counts_drops() {
+        let plan = FaultPlan::new().rule(FaultRule::new("DB", Op::Scan, FaultKind::Transient));
+        let mut inj = FaultInjector::new(plan).with_event_capacity(3);
+        for _ in 0..10 {
+            inj.on_call("DB", Op::Scan);
+        }
+        assert_eq!(inj.events().len(), 3, "ring holds only the newest 3");
+        assert_eq!(inj.dropped_events(), 7);
+        assert_eq!(inj.injected_count(), 10, "count includes evicted events");
+    }
+
+    #[test]
+    fn zero_capacity_ring_retains_nothing() {
+        let plan = FaultPlan::new().rule(FaultRule::new("DB", Op::Scan, FaultKind::Transient));
+        let mut inj = FaultInjector::new(plan).with_event_capacity(0);
+        inj.on_call("DB", Op::Scan);
+        assert!(inj.events().is_empty());
+        assert_eq!(inj.dropped_events(), 1);
+        assert_eq!(inj.injected_count(), 1);
     }
 
     #[test]

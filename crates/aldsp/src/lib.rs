@@ -25,6 +25,11 @@
 //! - [`decompose`] — update decomposition: change summary + lineage →
 //!   per-source conditioned SQL updates executed under 2PC, with the
 //!   three optimistic-concurrency policies and update overrides;
+//! - [`journal`] — the crash-consistent half of 2PC: an append-only,
+//!   checksummed coordinator log written at every protocol point, and
+//!   the [`journal::RecoveryManager`] that resolves in-doubt
+//!   transactions (presumed abort) and finishes decided ones after a
+//!   coordinator crash;
 //! - [`demo`] — the paper's running example (customer profiles across
 //!   two relational databases and a credit-rating web service) as a
 //!   reusable fixture for tests, examples, and benchmarks.
@@ -35,6 +40,7 @@ pub mod demo;
 pub mod errors;
 pub mod fault;
 pub mod introspect;
+pub mod journal;
 pub mod lineage;
 pub mod rel;
 pub mod resilience;
@@ -47,6 +53,9 @@ pub mod xmlmap;
 pub use decompose::{OccPolicy, UpdateOverride};
 pub use errors::{AldspCode, ALDSP_ERR_NS};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, Injected, Op};
+pub use journal::{
+    CoordinatorJournal, JournalStats, RecoveryManager, RecoveryStats, XaRecord,
+};
 pub use rel::{Column, ColumnType, Database, ForeignKey, SqlValue, TableSchema};
 pub use resilience::{
     Access, BreakerState, BreakerTransition, Policy, Resilience, ResilienceStats, VirtualClock,

@@ -13,10 +13,11 @@
 //! transaction cannot slip between `prepare` and `commit` — the
 //! standard presumed-abort XA discipline.
 
-// The versioned-scan/secondary-index layer sits on every read path;
-// it must degrade via Results, never panic: enforced at lint level
+// The versioned-scan/secondary-index layer sits on every read path,
+// and the branch commit/rollback path is replayed by crash recovery;
+// both must degrade via Results, never panic: enforced at lint level
 // (test-only unwraps are re-allowed on the tests module).
-#![deny(clippy::unwrap_used)]
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -663,7 +664,7 @@ impl Database {
         access.run(&self.name, Op::Execute, || {
             let tx = fresh_tx();
             self.prepare_raw(tx, ops.clone())?;
-            self.commit(tx);
+            self.commit_branch(tx)?;
             Ok(())
         })
     }
@@ -806,12 +807,38 @@ impl Database {
         Ok(())
     }
 
-    /// Phase two: apply a prepared transaction. Panics are impossible
-    /// by construction (everything validated at prepare), so commit
-    /// cannot fail — the XA contract.
+    /// Phase two: apply a prepared transaction. Kept for callers that
+    /// treat commit as infallible (everything was validated at
+    /// prepare); failures are impossible by construction and silently
+    /// dropped here — crash recovery uses [`Database::commit_branch`],
+    /// which surfaces them as typed `aldsp:XA_REPLAY_FAILED` errors.
     pub fn commit(&self, tx: TxId) {
+        let _ = self.commit_branch(tx);
+    }
+
+    /// Phase two, **idempotent** branch form for the recovery manager:
+    /// apply the branch prepared under `tx`.
+    ///
+    /// Returns `Ok(true)` when a prepared branch was applied,
+    /// `Ok(false)` when nothing is prepared under `tx` — either the
+    /// branch already committed (a replay after a crash between the
+    /// source commit and the journal's `Committed` record) or it never
+    /// prepared here. Replaying a decision any number of times is
+    /// therefore safe: only the first call applies writes.
+    ///
+    /// Internal inconsistencies that prepare-time validation should
+    /// make impossible (a table vanishing under a prepared op) surface
+    /// as `aldsp:XA_REPLAY_FAILED` instead of panicking — the commit
+    /// path must never poison the database lock.
+    pub fn commit_branch(&self, tx: TxId) -> XdmResult<bool> {
+        let replay_err = |what: &str| {
+            crate::errors::AldspCode::XaReplayFailed.error(format!(
+                "commit replay of {tx:?} on {}: {what} disappeared after prepare",
+                self.name
+            ))
+        };
         let mut inner = self.inner.lock();
-        let Some(p) = inner.prepared.remove(&tx) else { return };
+        let Some(p) = inner.prepared.remove(&tx) else { return Ok(false) };
         let mut touched: Vec<String> = Vec::new();
         for op in p.ops {
             let tname = op.table().to_string();
@@ -820,7 +847,10 @@ impl Database {
             }
             match op {
                 WriteOp::Insert { table, row } => {
-                    let t = inner.tables.get_mut(&table).expect("validated");
+                    let t = inner
+                        .tables
+                        .get_mut(&table)
+                        .ok_or_else(|| replay_err(&format!("table {table}")))?;
                     let TableData { schema, rows, next_row_id, indexes, .. } = &mut *t;
                     let id = *next_row_id;
                     *next_row_id += 1;
@@ -835,13 +865,22 @@ impl Database {
                     rows.push((id, row));
                 }
                 WriteOp::Update { table, set, cond, .. } => {
-                    let t = inner.tables.get_mut(&table).expect("validated");
+                    let t = inner
+                        .tables
+                        .get_mut(&table)
+                        .ok_or_else(|| replay_err(&format!("table {table}")))?;
                     let TableData { schema, rows, indexes, .. } = &mut *t;
-                    let idx = cond_indices(schema, &cond).expect("validated");
+                    let idx = cond_indices(schema, &cond)
+                        .map_err(|_| replay_err("condition column"))?;
                     let sets: Vec<(usize, SqlValue)> = set
                         .iter()
-                        .map(|(c, v)| (schema.col_index(c).expect("validated"), v.clone()))
-                        .collect();
+                        .map(|(c, v)| {
+                            schema
+                                .col_index(c)
+                                .map(|i| (i, v.clone()))
+                                .ok_or_else(|| replay_err(&format!("column {c}")))
+                        })
+                        .collect::<XdmResult<_>>()?;
                     for (id, r) in rows.iter_mut() {
                         if !row_matches(r, &idx) {
                             continue;
@@ -879,9 +918,13 @@ impl Database {
                     }
                 }
                 WriteOp::Delete { table, cond, .. } => {
-                    let t = inner.tables.get_mut(&table).expect("validated");
+                    let t = inner
+                        .tables
+                        .get_mut(&table)
+                        .ok_or_else(|| replay_err(&format!("table {table}")))?;
                     let TableData { schema, rows, indexes, .. } = &mut *t;
-                    let idx = cond_indices(schema, &cond).expect("validated");
+                    let idx = cond_indices(schema, &cond)
+                        .map_err(|_| replay_err("condition column"))?;
                     rows.retain(|(id, r)| {
                         if !row_matches(r, &idx) {
                             return true;
@@ -909,11 +952,21 @@ impl Database {
             }
         }
         inner.commits += 1;
+        Ok(true)
     }
 
     /// Abort a prepared (or never-prepared) transaction; releases
     /// locks, changes nothing.
     pub fn rollback(&self, tx: TxId) {
+        let _ = self.rollback_branch(tx);
+    }
+
+    /// Abort, **idempotent** branch form for the recovery manager.
+    /// Returns `true` when a prepared branch was actually released,
+    /// `false` when nothing was prepared under `tx` (already rolled
+    /// back, already committed, or never prepared here) — replaying a
+    /// presumed abort is always safe.
+    pub fn rollback_branch(&self, tx: TxId) -> bool {
         let mut inner = self.inner.lock();
         if let Some(p) = inner.prepared.remove(&tx) {
             // Conservative: drop the secondary indexes of every table
@@ -928,6 +981,9 @@ impl Database {
                 }
             }
             inner.aborts += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -1197,6 +1253,92 @@ impl TwoPhaseCoordinator {
             }
         }
         (TxOutcome::Committed, crashed)
+    }
+
+    /// Run the protocol with every point journaled and crash-injectable
+    /// — the crash-consistent driver behind multi-source
+    /// `decompose::execute`.
+    ///
+    /// Each protocol point is (a) recorded in the coordinator journal
+    /// *before* the protocol advances, and (b) followed by a crash
+    /// check against the fault injector, keyed by the XA ops
+    /// ([`Op::XaBegin`] on `"coordinator"`, [`Op::XaPrepared`] per
+    /// branch, [`Op::XaDecide`] on `"coordinator"`, [`Op::XaCommit`]
+    /// per branch). For N participants that is `2N + 2` injectable
+    /// points. A firing `FaultKind::CrashPoint` makes this return
+    /// `Err(aldsp:XA_COORD_CRASH)` **without any cleanup** — prepared
+    /// branches keep their locks, committed branches keep their writes
+    /// — exactly the divergence [`crate::journal::RecoveryManager`]
+    /// exists to resolve.
+    ///
+    /// An ordinary prepare failure still aborts tidily (roll back the
+    /// prepared branches, journal `Aborted`, return
+    /// `Ok(TxOutcome::Aborted)`), matching [`TwoPhaseCoordinator::run`].
+    pub fn run_journaled(
+        self,
+        journal: &crate::journal::CoordinatorJournal,
+        injector: Option<&Arc<Mutex<crate::fault::FaultInjector>>>,
+    ) -> XdmResult<TxOutcome> {
+        use crate::journal::XaRecord;
+
+        // Consult the injector at a protocol point. Only a Crash
+        // verdict matters here: error/delay kinds aimed at source ops
+        // are injected inside `Database::prepare` (via Access::run) as
+        // before, not at coordinator points.
+        let crash_check = |source: &str, op: Op| -> XdmResult<()> {
+            let crashed = injector.is_some_and(|inj| {
+                matches!(inj.lock().on_call(source, op), Some(crate::fault::Injected::Crash))
+            });
+            if crashed {
+                Err(crate::errors::AldspCode::XaCoordCrash
+                    .error(format!("coordinator crashed at {op} ({source})")))
+            } else {
+                Ok(())
+            }
+        };
+
+        let tx = fresh_tx();
+        let xid = tx.0;
+        let branches: Vec<String> =
+            self.participants.iter().map(|(db, _)| db.name.clone()).collect();
+        journal.append(XaRecord::Begin { xid, branches })?;
+        crash_check("coordinator", Op::XaBegin)?;
+
+        // Phase 1: prepare every branch, journaling each yes-vote.
+        let mut prepared: Vec<&Database> = Vec::new();
+        for (db, ops) in &self.participants {
+            match db.prepare(tx, ops.clone()) {
+                Ok(()) => prepared.push(db),
+                Err(e) => {
+                    // A no-vote is not a crash: abort tidily.
+                    for p in &prepared {
+                        p.rollback_branch(tx);
+                    }
+                    journal.append(XaRecord::Aborted { xid })?;
+                    return Ok(TxOutcome::Aborted(e));
+                }
+            }
+            journal.append(XaRecord::Prepared { xid, source: db.name.clone() })?;
+            // A crash here leaves this branch (and every earlier one)
+            // holding prepared locks with no decision journaled —
+            // recovery presumes abort.
+            crash_check(&db.name, Op::XaPrepared)?;
+        }
+
+        // The point of no return.
+        journal.append(XaRecord::CommitDecision { xid })?;
+        crash_check("coordinator", Op::XaDecide)?;
+
+        // Phase 2: commit every branch, journaling each completion.
+        for (db, _) in &self.participants {
+            db.commit_branch(tx)?;
+            // A crash here: the branch is committed at the source but
+            // its Committed record is missing — recovery replays the
+            // decision, and the branch's idempotent commit absorbs it.
+            crash_check(&db.name, Op::XaCommit)?;
+            journal.append(XaRecord::Committed { xid, source: db.name.clone() })?;
+        }
+        Ok(TxOutcome::Committed)
     }
 }
 

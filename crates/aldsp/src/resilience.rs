@@ -354,6 +354,13 @@ impl Access {
         });
         let outcome = match injected {
             Some(Injected::Error(e)) => Err(e),
+            // A crash verdict reaching an ordinary source call (a rule
+            // targeting e.g. Op::Scan instead of a coordinator
+            // protocol point) degrades to a hard, non-retryable error:
+            // only the 2PC driver's own crash checks unwind without
+            // cleanup.
+            Some(Injected::Crash) => Err(AldspCode::XaCoordCrash
+                .error(format!("injected coordinator crash on {source}/{op}"))),
             Some(Injected::Delay(ms)) => {
                 if let Some(res) = &self.resilience {
                     let mut r = res.lock();
@@ -764,7 +771,7 @@ mod resilience_tests {
         assert_eq!(item_calls, 3, "items ran only on the successful attempt");
         let res = acc.resilience.as_ref().unwrap().lock();
         assert_eq!(res.stats().retries, 1, "one retry covered all 3 items");
-        let inj = acc.injector.as_ref().unwrap().lock();
+        let mut inj = acc.injector.as_ref().unwrap().lock();
         assert_eq!(inj.events()[0].batch_size, Some(3));
     }
 

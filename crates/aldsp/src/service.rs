@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use crate::decompose::{self, OccPolicy, UpdateOverride};
 use crate::fault::{FaultInjector, Op};
 use crate::introspect;
+use crate::journal::{CoordinatorJournal, RecoveryManager, RecoveryStats};
 use crate::lineage::Lineage;
 use crate::rel::Database;
 use crate::resilience::{Access, Resilience};
@@ -152,6 +153,9 @@ pub struct DataSpace {
     /// The dataspace-wide fault-injection / resilience handle, shared
     /// with every registered source (present and future).
     access: RefCell<Access>,
+    /// The 2PC coordinator journal every multi-source submit writes
+    /// through; [`DataSpace::recover`] replays it after a crash.
+    journal: RefCell<CoordinatorJournal>,
 }
 
 impl Default for DataSpace {
@@ -171,7 +175,49 @@ impl DataSpace {
             logical: RefCell::new(HashMap::new()),
             last_decomposition: RefCell::new(Vec::new()),
             access: RefCell::new(Access::none()),
+            journal: RefCell::new(CoordinatorJournal::new()),
         }
+    }
+
+    /// The coordinator journal (clones share state, like `Database`).
+    pub fn journal(&self) -> CoordinatorJournal {
+        self.journal.borrow().clone()
+    }
+
+    /// Replace the coordinator journal — e.g. with a file-backed one
+    /// ([`CoordinatorJournal::open`]) so submits survive the process,
+    /// or with another space's journal to model a restarted
+    /// coordinator recovering its predecessor's log.
+    pub fn set_journal(&self, journal: CoordinatorJournal) {
+        *self.journal.borrow_mut() = journal;
+    }
+
+    /// Run one crash-recovery pass over the coordinator journal: roll
+    /// back every in-doubt transaction (begun, no commit decision —
+    /// presumed abort) and roll forward every decided-but-incomplete
+    /// one, through the sources' idempotent branch operations.
+    ///
+    /// On a clean journal this is a no-op (`RecoveryStats::is_noop()`),
+    /// and running it twice is equivalent to running it once — the
+    /// invariants the chaos suite counter-asserts. Totals are also
+    /// accumulated on the engine for `xqsh --explain`.
+    pub fn recover(&self) -> XdmResult<RecoveryStats> {
+        let journal = self.journal();
+        let stats = RecoveryManager::new(&journal)
+            .recover(|source| self.database(source))?;
+        if !stats.is_noop() {
+            // Rolled-forward commits changed source state after the
+            // original submit's caches were primed; treat recovery
+            // like any other committed write.
+            self.engine().note_source_write();
+        }
+        self.engine().note_recovery(
+            stats.in_doubt_found,
+            stats.rolled_forward,
+            stats.rolled_back,
+            stats.replays_skipped,
+        );
+        Ok(stats)
     }
 
     /// Install a fault injector across the dataspace: every already

@@ -1,9 +1,12 @@
 //! E9: XA two-phase commit — protocol cost per crash-injection point
-//! (recovery included).
+//! (recovery included), plus the journaled coordinator's overhead on
+//! the no-fault path (the <5% budget guarded by
+//! `tests/chaos.rs::xa_journal_overhead_guard_under_5pct`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use aldsp::journal::CoordinatorJournal;
 use aldsp::rel::{CrashPoint, SqlValue, TwoPhaseCoordinator, WriteOp};
 use xqse_bench::demo;
 
@@ -47,6 +50,22 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // Journaled vs plain on the no-fault path: the delta is the pure
+    // cost of writing the 2N+2 protocol records.
+    g.bench_function(BenchmarkId::from_parameter("no_crash_journaled"), |b| {
+        let d = demo::build(1, 1, 1).expect("demo");
+        let journal = CoordinatorJournal::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let (o1, o2) = ops(t);
+            let coord = TwoPhaseCoordinator::new(vec![
+                (d.db1.clone(), o1),
+                (d.db2.clone(), o2),
+            ]);
+            black_box(coord.run_journaled(&journal, None))
+        })
+    });
     g.finish();
 }
 

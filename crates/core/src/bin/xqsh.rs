@@ -10,7 +10,8 @@
 //! `--xqueryp` executes in XQueryP sequential mode (the §IV baseline);
 //! `--explain` prints the optimizer's hit/miss/invalidation counters
 //! (join cache, materialization cache, pushdown rewrites, plan cache,
-//! web-service coalescing) to stderr after the run; `--no-opt`
+//! web-service coalescing) plus the XA crash-recovery totals to
+//! stderr after the run; `--no-opt`
 //! disables the pushdown/caching layer (equivalent to
 //! XQSE_DISABLE_OPT=1); `--no-batch` disables only the prepared-plan
 //! and source-batching layer (equivalent to XQSE_DISABLE_BATCH=1);
@@ -60,6 +61,15 @@ fn print_explain(engine: &Engine) {
     eprintln!(
         "explain: web service    requests={} issued={} coalesced={} batches={}",
         s.ws_requests, s.ws_issued, s.ws_coalesced, s.ws_batches
+    );
+    eprintln!(
+        "explain: xa recovery    runs={} in-doubt={} rolled-forward={} \
+         rolled-back={} replays-skipped={}",
+        s.xa_recovery_runs,
+        s.xa_in_doubt,
+        s.xa_rolled_forward,
+        s.xa_rolled_back,
+        s.xa_replays_skipped
     );
 }
 

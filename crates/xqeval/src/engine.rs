@@ -143,6 +143,18 @@ pub struct OptStats {
     pub ws_coalesced: u64,
     /// Batched web-service flushes (`call_many` round trips).
     pub ws_batches: u64,
+    /// Crash-recovery passes run (`DataSpace::recover`).
+    pub xa_recovery_runs: u64,
+    /// In-doubt transactions found across recovery passes (begun, no
+    /// commit decision journaled → presumed abort).
+    pub xa_in_doubt: u64,
+    /// Branch commits replayed for decided-but-incomplete transactions.
+    pub xa_rolled_forward: u64,
+    /// Branch rollbacks performed for in-doubt transactions.
+    pub xa_rolled_back: u64,
+    /// Branch replays skipped because the branch had already reached
+    /// the target state (idempotent replay).
+    pub xa_replays_skipped: u64,
 }
 
 /// Live (interior-mutability) counter block behind [`OptStats`].
@@ -179,6 +191,16 @@ pub struct OptCounters {
     pub ws_coalesced: Cell<u64>,
     /// See [`OptStats::ws_batches`].
     pub ws_batches: Cell<u64>,
+    /// See [`OptStats::xa_recovery_runs`].
+    pub xa_recovery_runs: Cell<u64>,
+    /// See [`OptStats::xa_in_doubt`].
+    pub xa_in_doubt: Cell<u64>,
+    /// See [`OptStats::xa_rolled_forward`].
+    pub xa_rolled_forward: Cell<u64>,
+    /// See [`OptStats::xa_rolled_back`].
+    pub xa_rolled_back: Cell<u64>,
+    /// See [`OptStats::xa_replays_skipped`].
+    pub xa_replays_skipped: Cell<u64>,
 }
 
 impl OptCounters {
@@ -576,6 +598,25 @@ impl Engine {
         }
     }
 
+    /// Record the outcome of one crash-recovery pass over the 2PC
+    /// coordinator journal. The engine knows nothing of XA — these are
+    /// plain totals the host (ALDSP tier) reports so `xqsh --explain`
+    /// can surface recovery alongside the optimizer counters.
+    pub fn note_recovery(
+        &self,
+        in_doubt: u64,
+        rolled_forward: u64,
+        rolled_back: u64,
+        replays_skipped: u64,
+    ) {
+        let o = &self.opt;
+        OptCounters::bump(&o.xa_recovery_runs);
+        OptCounters::add(&o.xa_in_doubt, in_doubt);
+        OptCounters::add(&o.xa_rolled_forward, rolled_forward);
+        OptCounters::add(&o.xa_rolled_back, rolled_back);
+        OptCounters::add(&o.xa_replays_skipped, replays_skipped);
+    }
+
     /// Snapshot of the optimizer counters.
     pub fn opt_stats(&self) -> OptStats {
         OptStats {
@@ -593,6 +634,11 @@ impl Engine {
             ws_issued: self.opt.ws_issued.get(),
             ws_coalesced: self.opt.ws_coalesced.get(),
             ws_batches: self.opt.ws_batches.get(),
+            xa_recovery_runs: self.opt.xa_recovery_runs.get(),
+            xa_in_doubt: self.opt.xa_in_doubt.get(),
+            xa_rolled_forward: self.opt.xa_rolled_forward.get(),
+            xa_rolled_back: self.opt.xa_rolled_back.get(),
+            xa_replays_skipped: self.opt.xa_replays_skipped.get(),
         }
     }
 
@@ -613,6 +659,11 @@ impl Engine {
         o.ws_issued.set(0);
         o.ws_coalesced.set(0);
         o.ws_batches.set(0);
+        o.xa_recovery_runs.set(0);
+        o.xa_in_doubt.set(0);
+        o.xa_rolled_forward.set(0);
+        o.xa_rolled_back.set(0);
+        o.xa_replays_skipped.set(0);
     }
 
     /// Shared counter block for the evaluator and source closures.

@@ -47,6 +47,13 @@ echo "==> XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chao
 XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chaos \
     --test use_cases --test figure3
 
+# Crash-recovery chaos matrix: the journaled-2PC acceptance gate.
+# Crashes the coordinator at every protocol point (FaultKind::CrashPoint
+# on the Op::Xa* ops), asserts divergent source state before recover()
+# and the atomicity invariant after, and counter-asserts that recovery
+# is a no-op on a clean journal and idempotent on a dirty one.
+run cargo test -q $NET --test chaos xa_
+
 # Lints. Clippy may be absent in minimal toolchains; warn, don't fail.
 # Note: the optimizer-layer modules (xqeval/engine.rs, aldsp/rel.rs,
 # aldsp/introspect.rs) carry in-source `#![deny(clippy::unwrap_used)]`,
@@ -61,6 +68,14 @@ if [ "$QUICK" -eq 0 ]; then
     run cargo build $NET --release
     # Benches must at least compile (running them is a manual step).
     run cargo bench $NET --workspace --no-run
+
+    # Journal-overhead guard: the journaled coordinator must stay
+    # within 5% of the plain one on the no-fault path (bench_xa has the
+    # matching criterion cases). Wall-clock on shared hardware is
+    # noisy: warn, don't fail.
+    echo "==> cargo test -q $NET --release --test chaos xa_journal_overhead_guard -- --ignored"
+    cargo test -q $NET --release --test chaos xa_journal_overhead_guard -- --ignored \
+        || echo "==> xa journal overhead guard exceeded its 5% budget (warning only)" >&2
 
     # Bench-regression tripwire: run the quick experiment table,
     # compare against the checked-in BENCH_E*.json baselines, and WARN

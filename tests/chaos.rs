@@ -964,7 +964,7 @@ fn breaker_opens_mid_batch_flight() {
     // The injector saw exactly two *batch* flights of 3 requests — not
     // six per-item calls.
     {
-        let inj = inj.lock();
+        let mut inj = inj.lock();
         assert_eq!(inj.injected_count(), 2);
         assert!(inj.events().iter().all(|e| e.batch_size == Some(3)));
     }
@@ -986,4 +986,363 @@ fn breaker_opens_mid_batch_flight() {
     assert_eq!(res.lock().breaker_state("CreditRating"), BreakerState::HalfOpen);
     assert_eq!(space.engine().eval_expr_str(&rating_batch_query(7, 9), &cre).unwrap().len(), 3);
     assert_eq!(res.lock().breaker_state("CreditRating"), BreakerState::Closed);
+}
+
+// ---------------------------------------------------------------------------
+// 10. Crash-consistent 2PC: coordinator journal + in-doubt recovery
+// ---------------------------------------------------------------------------
+//
+// The journaled coordinator writes Begin/Prepared/CommitDecision/
+// Committed records at every protocol point and is crash-injectable at
+// each of them (FaultKind::CrashPoint on the Op::Xa* protocol ops). A
+// crash unwinds WITHOUT cleanup — prepared branches keep their locks,
+// committed branches keep their writes — and `DataSpace::recover()`
+// replays the journal: presumed abort for in-doubt transactions,
+// roll-forward for decided-but-incomplete ones, through idempotent
+// `commit_branch`/`rollback_branch` so recovering twice ≡ once.
+
+mod xa_recovery {
+    use super::*;
+    use xqse_repro::aldsp::decompose::{self, DecompositionPlan};
+    use xqse_repro::aldsp::rel::TxId;
+    use xqse_repro::aldsp::RecoveryStats;
+
+    /// A two-source plan (one insert each) on a replicated space whose
+    /// source names sort/iterate in plan order: "primary" then
+    /// "backup".
+    fn two_source_plan() -> DecompositionPlan {
+        let ins = |_: &str| WriteOp::Insert {
+            table: "EMPLOYEE".into(),
+            row: vec![SqlValue::Int(1), SqlValue::Str("Ann".into())],
+        };
+        DecompositionPlan {
+            per_source: vec![
+                ("primary".into(), vec![ins("primary")]),
+                ("backup".into(), vec![ins("backup")]),
+            ],
+        }
+    }
+
+    fn rows(db: &Database) -> usize {
+        db.row_count("EMPLOYEE").unwrap()
+    }
+
+    /// Every xid the journal knows, for lock assertions.
+    fn journal_xids(space: &DataSpace) -> Vec<u64> {
+        space.journal().scan().keys().copied().collect()
+    }
+
+    fn any_prepared(space: &DataSpace, dbs: &[&Database]) -> bool {
+        journal_xids(space)
+            .iter()
+            .any(|&xid| dbs.iter().any(|db| db.is_prepared(TxId(xid))))
+    }
+
+    /// The acceptance-criteria matrix: crash the coordinator at every
+    /// protocol point of a two-source transaction, observe the
+    /// divergent/partial state the crash left, then assert recovery
+    /// restores the atomicity invariant with exactly the expected
+    /// counters — and that a second pass is a no-op.
+    #[test]
+    fn xa_crash_at_every_protocol_point_recovers_atomically() {
+        // (source, op, decided, expected RecoveryStats)
+        let matrix: &[(&str, Op, bool, RecoveryStats)] = &[
+            // Pre-decision crashes: presumed abort. Branch rollbacks
+            // count only for branches that actually prepared; the rest
+            // are idempotent no-ops (replays_skipped).
+            ("coordinator", Op::XaBegin, false, RecoveryStats {
+                in_doubt_found: 1, rolled_forward: 0, rolled_back: 0, replays_skipped: 2,
+            }),
+            ("primary", Op::XaPrepared, false, RecoveryStats {
+                in_doubt_found: 1, rolled_forward: 0, rolled_back: 1, replays_skipped: 1,
+            }),
+            ("backup", Op::XaPrepared, false, RecoveryStats {
+                in_doubt_found: 1, rolled_forward: 0, rolled_back: 2, replays_skipped: 0,
+            }),
+            // Post-decision crashes: roll forward. A branch that
+            // committed before the crash but lost its Committed record
+            // replays as a skip (commit_branch finds nothing prepared).
+            ("coordinator", Op::XaDecide, true, RecoveryStats {
+                in_doubt_found: 0, rolled_forward: 2, rolled_back: 0, replays_skipped: 0,
+            }),
+            ("primary", Op::XaCommit, true, RecoveryStats {
+                in_doubt_found: 0, rolled_forward: 1, rolled_back: 0, replays_skipped: 1,
+            }),
+            ("backup", Op::XaCommit, true, RecoveryStats {
+                in_doubt_found: 0, rolled_forward: 0, rolled_back: 0, replays_skipped: 1,
+            }),
+        ];
+
+        for (source, op, decided, expected) in matrix {
+            let (space, primary, backup) = replicated_space();
+            space.install_fault_injector(FaultInjector::new(FaultPlan::new().rule(
+                FaultRule::new(*source, *op, FaultKind::CrashPoint),
+            )));
+
+            let err = decompose::execute(&space, two_source_plan())
+                .expect_err("coordinator must crash");
+            assert_eq!(
+                AldspCode::of(&err),
+                Some(AldspCode::XaCoordCrash),
+                "crash at {source}/{op}"
+            );
+
+            // Before recovery the sources are in a genuinely partial
+            // state: locks held with no decision, or divergent rows.
+            match (source, op) {
+                (_, Op::XaPrepared) | (_, Op::XaDecide) => {
+                    assert!(
+                        any_prepared(&space, &[&primary, &backup]),
+                        "{source}/{op}: prepared locks must still be held"
+                    );
+                    assert_eq!((rows(&primary), rows(&backup)), (0, 0));
+                }
+                (_, Op::XaCommit) if *source == "primary" => {
+                    assert_ne!(
+                        rows(&primary),
+                        rows(&backup),
+                        "crash between per-source commits must leave divergent state"
+                    );
+                    assert!(any_prepared(&space, &[&backup]), "backup still locked");
+                }
+                _ => {}
+            }
+            assert!(!space.journal().is_clean(), "{source}/{op}: tx unresolved");
+
+            // Recovery restores the atomicity invariant…
+            let stats = space.recover().unwrap();
+            assert_eq!(stats, *expected, "stats for crash at {source}/{op}");
+            let want = if *decided { 1 } else { 0 };
+            assert_eq!(
+                (rows(&primary), rows(&backup)),
+                (want, want),
+                "atomicity after recovery from crash at {source}/{op}"
+            );
+            assert!(!any_prepared(&space, &[&primary, &backup]), "locks released");
+            assert!(space.journal().is_clean(), "journal resolved");
+
+            // …and is idempotent: a second pass finds nothing.
+            let again = space.recover().unwrap();
+            assert!(again.is_noop(), "second recover() must be a no-op, got {again:?}");
+            assert_eq!((rows(&primary), rows(&backup)), (want, want));
+        }
+    }
+
+    /// `recover()` on a clean journal is a no-op — both on a fresh
+    /// space (empty journal) and after a successful multi-source
+    /// commit (fully-resolved journal).
+    #[test]
+    fn xa_recover_is_noop_on_clean_journal() {
+        let (space, primary, backup) = replicated_space();
+        assert!(space.recover().unwrap().is_noop(), "empty journal");
+
+        decompose::execute(&space, two_source_plan()).unwrap();
+        assert_eq!((rows(&primary), rows(&backup)), (1, 1));
+        assert!(!space.journal().is_empty(), "happy path was journaled");
+        assert!(space.journal().is_clean());
+        assert!(space.recover().unwrap().is_noop(), "resolved journal");
+
+        // Recovery totals reach the engine's explain counters.
+        let s = space.engine().opt_stats();
+        assert_eq!(s.xa_recovery_runs, 2);
+        assert_eq!(s.xa_in_doubt + s.xa_rolled_forward + s.xa_rolled_back, 0);
+    }
+
+    /// The crash error is XQSE-catchable by exact name, so an atomic
+    /// block can observe an in-doubt outcome and route to recovery.
+    #[test]
+    fn xa_coord_crash_is_xqse_catchable() {
+        let (space, primary, backup) = replicated_space();
+        let inj = space.install_fault_injector(FaultInjector::new(FaultPlan::new().rule(
+            FaultRule::new("primary", Op::XaCommit, FaultKind::CrashPoint),
+        )));
+
+        // A native procedure driving the journaled coordinator — the
+        // stand-in for a logical service's multi-source submit.
+        let journal = space.journal();
+        let (pa, pb) = (primary.clone(), backup.clone());
+        space.engine().register_external_procedure(
+            QName::with_ns("urn:test", "doomedSubmit"),
+            0,
+            false,
+            std::rc::Rc::new(move |_env, _args| {
+                let ins = WriteOp::Insert {
+                    table: "EMPLOYEE".into(),
+                    row: vec![SqlValue::Int(9), SqlValue::Str("Zed".into())],
+                };
+                TwoPhaseCoordinator::new(vec![
+                    (pa.clone(), vec![ins.clone()]),
+                    (pb.clone(), vec![ins]),
+                ])
+                .run_journaled(&journal, Some(&inj))?;
+                Ok(Sequence::empty())
+            }),
+        );
+
+        let caught = space
+            .xqse()
+            .run(
+                r#"
+                declare namespace t = "urn:test";
+                declare namespace aldsp = "urn:aldsp:errors";
+                {
+                  declare $out as xs:string := "clean";
+                  try { t:doomedSubmit(); }
+                  catch (aldsp:XA_COORD_CRASH into $err, $msg) {
+                    set $out := fn:concat("in-doubt: ", $msg);
+                  };
+                  return value $out;
+                }
+                "#,
+            )
+            .unwrap();
+        assert!(
+            caught.string_value().unwrap().starts_with("in-doubt:"),
+            "exact-name catch must match aldsp:XA_COORD_CRASH"
+        );
+
+        // The block observed the in-doubt outcome; recovery resolves it.
+        assert_ne!(rows(&primary), rows(&backup), "divergent until recovery");
+        let stats = space.recover().unwrap();
+        assert_eq!(stats.rolled_forward, 1, "backup commit replayed");
+        assert_eq!((rows(&primary), rows(&backup)), (1, 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Randomized crash-point × fault-plan matrix. Whatever
+        /// happens — a crash at any protocol point, a flaky prepare
+        /// that aborts or retries through, or both racing — after
+        /// recovery every source is fully pre-image or fully
+        /// post-image (and all sources agree), and recover() twice is
+        /// recover() once.
+        #[test]
+        fn xa_recovery_is_idempotent_and_atomic(
+            point in 0usize..6,
+            k in 0u32..3,
+            r in 0u32..3,
+            flaky_idx in 0usize..2,
+        ) {
+            let flaky_source = ["primary", "backup"][flaky_idx];
+            let points = [
+                ("coordinator", Op::XaBegin),
+                ("primary", Op::XaPrepared),
+                ("backup", Op::XaPrepared),
+                ("coordinator", Op::XaDecide),
+                ("primary", Op::XaCommit),
+                ("backup", Op::XaCommit),
+            ];
+            let (crash_source, crash_op) = points[point];
+            let (space, primary, backup) = replicated_space();
+            space.install_fault_injector(FaultInjector::new(
+                FaultPlan::new()
+                    .rule(FaultRule::new(
+                        flaky_source,
+                        Op::Prepare,
+                        FaultKind::FailNTimes(k),
+                    ))
+                    .rule(FaultRule::new(crash_source, crash_op, FaultKind::CrashPoint)),
+            ));
+            space.install_resilience(Resilience::new(Policy {
+                max_retries: r,
+                ..Policy::default()
+            }));
+
+            // The submit may commit, abort tidily, or crash — all are
+            // legal; the invariants below must hold regardless.
+            let _ = decompose::execute(&space, two_source_plan());
+
+            let first = space.recover().unwrap();
+            let (ra, rb) = (rows(&primary), rows(&backup));
+            prop_assert!(ra <= 1 && rb <= 1, "double apply: {ra}/{rb}");
+            prop_assert_eq!(
+                ra, rb,
+                "partial apply after recovery (crash at {}/{}, k={}, r={})",
+                crash_source, crash_op, k, r
+            );
+            prop_assert!(
+                !any_prepared(&space, &[&primary, &backup]),
+                "prepared locks survived recovery"
+            );
+            prop_assert!(space.journal().is_clean());
+
+            // Idempotency: the second pass finds nothing to do and
+            // changes nothing.
+            let second = space.recover().unwrap();
+            prop_assert!(
+                second.is_noop(),
+                "recover() not idempotent: first={:?} second={:?}", first, second
+            );
+            prop_assert_eq!((rows(&primary), rows(&backup)), (ra, rb));
+        }
+    }
+
+    /// Journal overhead guard for the no-fault path: the journaled
+    /// coordinator must stay within 5% of the unjournaled one.
+    /// Ignored by default (wall-clock measurement); the fourth
+    /// `scripts/check.sh` arm runs it warn-only.
+    #[test]
+    #[ignore = "wall-clock guard; run via scripts/check.sh arm 4"]
+    fn xa_journal_overhead_guard_under_5pct() {
+        use std::time::Instant;
+
+        const SEED_ROWS: i64 = 512;
+        const ITERS: i64 = 1500;
+        let run = |journaled: bool| -> f64 {
+            // Model what a decomposed submit actually executes per
+            // source: a conditioned OCC UPDATE against a populated
+            // table — not a bare one-row insert, whose cost would be
+            // dwarfed by any fixed per-transaction bookkeeping.
+            let (space, primary, backup) = replicated_space();
+            for db in [&primary, &backup] {
+                for i in 0..SEED_ROWS {
+                    db.insert(
+                        "EMPLOYEE",
+                        vec![SqlValue::Int(i), SqlValue::Str("x".into())],
+                    )
+                    .unwrap();
+                }
+            }
+            let journal = space.journal();
+            let start = Instant::now();
+            for i in 0..ITERS {
+                let upd = || WriteOp::Update {
+                    table: "EMPLOYEE".into(),
+                    set: vec![("Name".into(), SqlValue::Str(format!("n{i}")))],
+                    cond: vec![("EmployeeID".into(), SqlValue::Int(i % SEED_ROWS))],
+                    expect_rows: 1,
+                };
+                let coord = TwoPhaseCoordinator::new(vec![
+                    (primary.clone(), vec![upd()]),
+                    (backup.clone(), vec![upd()]),
+                ]);
+                if journaled {
+                    assert!(matches!(
+                        coord.run_journaled(&journal, None).unwrap(),
+                        TxOutcome::Committed
+                    ));
+                } else {
+                    assert!(matches!(coord.run(), TxOutcome::Committed));
+                }
+            }
+            start.elapsed().as_secs_f64()
+        };
+
+        // Warm up once, then take the best of 3 for each arm to damp
+        // scheduler noise.
+        let _ = (run(false), run(true));
+        let plain = (0..3).map(|_| run(false)).fold(f64::MAX, f64::min);
+        let journaled = (0..3).map(|_| run(true)).fold(f64::MAX, f64::min);
+        let overhead = (journaled - plain) / plain * 100.0;
+        println!(
+            "xa journal overhead: plain={plain:.4}s journaled={journaled:.4}s \
+             overhead={overhead:.2}%"
+        );
+        assert!(
+            overhead < 5.0,
+            "journal overhead {overhead:.2}% exceeds the 5% budget \
+             (plain={plain:.4}s journaled={journaled:.4}s)"
+        );
+    }
 }
