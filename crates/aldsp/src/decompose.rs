@@ -345,6 +345,15 @@ pub fn execute(space: &DataSpace, plan: DecompositionPlan) -> XdmResult<()> {
         })?;
         participants.push((db, ops));
     }
+    // Participants stay in plan order. Ordering across *sources* is
+    // not a deadlock vector: prepare_raw/commit_branch release every
+    // table-shard guard before returning, so no thread ever holds one
+    // source's locks while blocking on another's — the canonical
+    // sorted-name lock order lives one level down, on the table shards
+    // within each source (rel.rs `affected_tables`). Preserving plan
+    // order here keeps crash-point semantics deterministic: a fault
+    // plan keyed on "the second branch's prepare" means the same
+    // branch no matter what the sources are named.
     match participants.pop() {
         None => Ok(()),
         Some((db, ops)) if participants.is_empty() => db.execute(ops),

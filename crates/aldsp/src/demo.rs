@@ -198,16 +198,29 @@ pub fn build(n: usize, orders_per: usize, cards_per: usize) -> XdmResult<Demo> {
         }
     }
 
+    let space = assemble(&db1, &db2, WebService::credit_rating(CREDIT_TYPES_NS))?;
+    Ok(Demo { space, db1, db2, customers: n })
+}
+
+/// Register the demo's sources and the `CustomerProfile` logical
+/// service into a fresh dataspace.
+///
+/// This is the canonical serving-pool worker builder body: databases
+/// clone-share their state (`Arc` innards), so every worker that
+/// assembles over the same `db1`/`db2` handles sees one copy of the
+/// data, while the web service — whose handlers are `Rc` closures —
+/// is rebuilt per worker from its factory.
+pub fn assemble(db1: &Database, db2: &Database, ws: WebService) -> XdmResult<DataSpace> {
     let space = DataSpace::new();
-    space.register_relational_source(&db1)?;
-    space.register_relational_source(&db2)?;
-    space.register_web_service(WebService::credit_rating(CREDIT_TYPES_NS))?;
+    space.register_relational_source(db1)?;
+    space.register_relational_source(db2)?;
+    space.register_web_service(ws)?;
     space.register_logical_service(
         "CustomerProfile",
         GET_PROFILE_SRC,
         &QName::with_ns("ld:CustomerProfile", "getProfile"),
     )?;
-    Ok(Demo { space, db1, db2, customers: n })
+    Ok(space)
 }
 
 #[cfg(test)]

@@ -228,6 +228,29 @@ pub struct FaultEvent {
     /// Number of coalesced requests in flight when a *batched* call
     /// was intercepted; `None` for single calls.
     pub batch_size: Option<usize>,
+    /// Index of the serving-pool worker whose call hit the fault
+    /// (`None` when the call came from outside a pool worker, e.g. a
+    /// single-threaded test or the coordinator's recovery pass).
+    pub worker: Option<usize>,
+}
+
+thread_local! {
+    /// Serving-pool worker identity of the current thread; stamped
+    /// onto every [`FaultEvent`] the thread triggers. The pool sets it
+    /// once per worker thread via [`set_current_worker`].
+    static CURRENT_WORKER: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Tag the current thread as serving-pool worker `idx` (or clear the
+/// tag with `None`). Subsequent injected faults on this thread carry
+/// the tag in [`FaultEvent::worker`].
+pub fn set_current_worker(idx: Option<usize>) {
+    CURRENT_WORKER.with(|w| w.set(idx));
+}
+
+/// The serving-pool worker tag of the current thread, if any.
+pub fn current_worker() -> Option<usize> {
+    CURRENT_WORKER.with(|w| w.get())
 }
 
 /// Default capacity of the injector's event ring. Big enough that
@@ -340,6 +363,7 @@ impl FaultInjector {
                 op,
                 injected: injected.clone(),
                 batch_size: None,
+                worker: current_worker(),
             });
             return Some(injected);
         }

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod introspect;
 pub mod journal;
 pub mod lineage;
+pub mod pool;
 pub mod rel;
 pub mod resilience;
 pub mod sdo;

@@ -1,0 +1,452 @@
+//! The concurrent serving layer: a fixed pool of worker threads, each
+//! owning its own single-threaded XQSE [`Engine`](xqeval::Engine)
+//! (the `Rc`/`RefCell` XDM arena is deliberately not shared), all
+//! bound to the same `Arc`-shared [`Database`](crate::rel::Database)
+//! handles, fed by a bounded MPMC work queue.
+//!
+//! ALDSP was a middle-tier server multiplexing many concurrent client
+//! requests over shared relational and web-service sources (PAPER
+//! §II). This module reproduces that regime:
+//!
+//! * **Engine per worker.** The XDM arena, plan cache, join and
+//!   materialization caches are all `Rc`/`Cell` structures — cheap,
+//!   single-threaded, and correct precisely because no other thread
+//!   ever sees them. Each worker builds its **own** [`DataSpace`]
+//!   (via the caller-supplied builder) over the **shared** database
+//!   handles; plan-cache invalidation by registration generation
+//!   therefore still works per worker.
+//! * **Shard-locked sources.** `rel::Database` holds one `RwLock` per
+//!   table, so readers of different tables — and concurrent readers
+//!   of the same table — never contend; see the concurrency-model
+//!   notes in [`crate::rel`].
+//! * **Shared breaker/injector cores.** Worker builders install one
+//!   shared [`Access`](crate::resilience::Access) (the `Arc<Mutex<…>>`
+//!   injector/breaker cores inside it are the shared state), so a
+//!   circuit breaker tripped by one worker is immediately observed by
+//!   all, while each worker thread keeps its own lock-free cached
+//!   clone of the `Access` for the hot path.
+//!
+//! The kill switch `XQSE_SERVE_WORKERS` overrides the requested
+//! worker count (e.g. `XQSE_SERVE_WORKERS=1` reproduces the
+//! single-threaded numbers; EXPERIMENTS.md E14 relies on this).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use xdm::error::{XdmError, XdmResult};
+use xdm::sequence::{Item, Sequence};
+
+use xqeval::context::Env;
+use xqeval::OptStats;
+
+use crate::fault;
+use crate::service::DataSpace;
+
+/// Configuration for a [`ServePool`].
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Requested worker count (≥ 1). The `XQSE_SERVE_WORKERS`
+    /// environment variable, when set to a positive integer,
+    /// overrides this.
+    pub workers: usize,
+    /// Bound of the MPMC request queue; senders block when it is
+    /// full (closed-loop back-pressure, like a server's accept
+    /// backlog). `0` means "4 × workers".
+    pub queue_capacity: usize,
+}
+
+impl ServeSpec {
+    /// A spec with the default queue bound.
+    pub fn new(workers: usize) -> ServeSpec {
+        ServeSpec { workers, queue_capacity: 0 }
+    }
+}
+
+/// A request argument — the subset of XDM items a serving client can
+/// pass across threads.
+#[derive(Debug, Clone)]
+pub enum ServeArg {
+    /// An `xs:integer`.
+    Int(i64),
+    /// An `xs:string`.
+    Str(String),
+}
+
+impl ServeArg {
+    fn to_sequence(&self) -> Sequence {
+        match self {
+            ServeArg::Int(i) => Sequence::one(Item::integer(*i)),
+            ServeArg::Str(s) => Sequence::one(Item::string(s.clone())),
+        }
+    }
+}
+
+/// One unit of serving work. All payloads are plain data (`String`s
+/// and integers) so requests cross the thread boundary without
+/// touching the XDM arena.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// Invoke a data-service read method and return the serialized
+    /// instances (the Figure-4 "get" half).
+    Get {
+        /// The data service (e.g. `CustomerProfile`).
+        service: String,
+        /// The read method (e.g. `getProfileById`).
+        method: String,
+        /// Method arguments.
+        args: Vec<ServeArg>,
+    },
+    /// Run an XQSE program text and return the serialized result.
+    Run {
+        /// The program source.
+        program: String,
+    },
+    /// Read a data graph, apply SDO leaf changes, and submit it back
+    /// (the Figure-4 "update" half — decomposition + 2PC underneath).
+    Submit {
+        /// The logical data service.
+        service: String,
+        /// The read method used to fetch the graph.
+        method: String,
+        /// Read-method arguments.
+        args: Vec<ServeArg>,
+        /// Leaf edits: `(instance index, path steps, new value)`.
+        sets: Vec<(usize, Vec<String>, String)>,
+    },
+}
+
+/// A completed request: which worker served it and what came back
+/// (serialized XML for reads, `"ok"` for submits).
+#[derive(Debug, Clone)]
+pub struct ServeReply {
+    /// Index of the worker that served the request.
+    pub worker: usize,
+    /// Serialized result or the typed error the request raised.
+    pub result: Result<String, XdmError>,
+}
+
+/// Per-pool totals returned by [`ServePool::shutdown`].
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Effective worker count (after the kill switch).
+    pub workers: usize,
+    /// Requests served per worker (indexed by worker).
+    pub served: Vec<u64>,
+    /// Sum of every worker's optimizer/plan/ws counters — the totals
+    /// line `xqsh --explain` prints under the pool.
+    pub stats: OptStats,
+    /// Builder failures, by worker (a failed worker answers every
+    /// request it dequeues with the error instead of crashing the
+    /// pool).
+    pub init_errors: Vec<Option<String>>,
+}
+
+struct Job {
+    request: ServeRequest,
+    reply: Arc<ReplySlot>,
+}
+
+#[derive(Default)]
+struct ReplySlot {
+    slot: Mutex<Option<ServeReply>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn fill(&self, reply: ServeReply) {
+        if let Ok(mut guard) = self.slot.lock() {
+            *guard = Some(reply);
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> ServeReply {
+        let fallback = || ServeReply {
+            worker: usize::MAX,
+            result: Err(crate::errors::AldspCode::SrcUnavailable
+                .error("serve pool reply channel poisoned")),
+        };
+        let Ok(mut guard) = self.slot.lock() else { return fallback() };
+        loop {
+            if let Some(reply) = guard.take() {
+                return reply;
+            }
+            guard = match self.ready.wait(guard) {
+                Ok(g) => g,
+                Err(_) => return fallback(),
+            };
+        }
+    }
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue on std `Mutex`/`Condvar`: producers block when
+/// full, workers block when empty, `close` wakes everyone for a
+/// drain-then-exit shutdown.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner { jobs: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue, blocking while full. Returns `false` when the queue
+    /// is (or becomes) closed — the job is dropped, not served.
+    fn push(&self, job: Job) -> bool {
+        let Ok(mut inner) = self.inner.lock() else { return false };
+        loop {
+            if inner.closed {
+                return false;
+            }
+            if inner.jobs.len() < self.capacity {
+                inner.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return true;
+            }
+            inner = match self.not_full.wait(inner) {
+                Ok(g) => g,
+                Err(_) => return false,
+            };
+        }
+    }
+
+    /// Dequeue, blocking while empty. `None` means closed **and**
+    /// drained: time for the worker to exit.
+    fn pop(&self) -> Option<Job> {
+        let Ok(mut inner) = self.inner.lock() else { return None };
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.not_empty.wait(inner) {
+                Ok(g) => g,
+                Err(_) => return None,
+            };
+        }
+    }
+
+    fn close(&self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.closed = true;
+        }
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+struct WorkerExit {
+    served: u64,
+    stats: OptStats,
+    init_error: Option<String>,
+}
+
+/// The serving pool: `workers` threads, each with its own engine and
+/// dataspace, pulling [`ServeRequest`]s off one bounded queue.
+///
+/// `builder(i)` runs **on** worker `i`'s thread and must register the
+/// shared sources into a fresh [`DataSpace`] (databases clone-share
+/// state; web services are rebuilt per worker because their handlers
+/// are `Rc` closures). See [`crate::demo::assemble`] for the
+/// canonical builder body.
+pub struct ServePool {
+    queue: Arc<Queue>,
+    handles: Vec<JoinHandle<WorkerExit>>,
+    workers: usize,
+}
+
+/// Effective worker count: the `XQSE_SERVE_WORKERS` kill switch wins
+/// over the spec when it parses as a positive integer.
+pub fn effective_workers(requested: usize) -> usize {
+    let forced = std::env::var("XQSE_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    forced.unwrap_or(requested).max(1)
+}
+
+impl ServePool {
+    /// Start the pool. `builder(i)` is invoked once on each worker
+    /// thread to construct that worker's `DataSpace` over the shared
+    /// source handles.
+    pub fn start<B>(spec: ServeSpec, builder: B) -> ServePool
+    where
+        B: Fn(usize) -> XdmResult<DataSpace> + Send + Sync + 'static,
+    {
+        let workers = effective_workers(spec.workers);
+        let capacity = if spec.queue_capacity == 0 {
+            workers * 4
+        } else {
+            spec.queue_capacity
+        };
+        let queue = Arc::new(Queue::new(capacity));
+        let builder = Arc::new(builder);
+        // No worker serves before every worker has finished building:
+        // builders write the shared sources' access slots, and a
+        // half-initialized pool must not serve requests with faults or
+        // breakers only partially installed.
+        let barrier = Arc::new(std::sync::Barrier::new(workers));
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = queue.clone();
+                let builder = builder.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    worker_loop(i, &queue, builder.as_ref(), &barrier)
+                })
+            })
+            .collect();
+        ServePool { queue, handles, workers }
+    }
+
+    /// Effective worker count (after the kill switch).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serve one request, blocking until a worker replies (the
+    /// closed-loop client primitive: each client thread has at most
+    /// one request in flight).
+    pub fn call(&self, request: ServeRequest) -> ServeReply {
+        let reply = Arc::new(ReplySlot::default());
+        let job = Job { request, reply: reply.clone() };
+        if !self.queue.push(job) {
+            return ServeReply {
+                worker: usize::MAX,
+                result: Err(crate::errors::AldspCode::SrcUnavailable
+                    .error("serve pool is shut down")),
+            };
+        }
+        reply.wait()
+    }
+
+    /// Close the queue, let the workers drain it, join them, and
+    /// aggregate their counters.
+    pub fn shutdown(self) -> PoolReport {
+        self.queue.close();
+        let mut report = PoolReport {
+            workers: self.workers,
+            served: Vec::with_capacity(self.handles.len()),
+            stats: OptStats::default(),
+            init_errors: Vec::with_capacity(self.handles.len()),
+        };
+        for handle in self.handles {
+            match handle.join() {
+                Ok(exit) => {
+                    report.served.push(exit.served);
+                    report.stats.accumulate(&exit.stats);
+                    report.init_errors.push(exit.init_error);
+                }
+                Err(_) => {
+                    report.served.push(0);
+                    report.init_errors.push(Some("worker panicked".to_string()));
+                }
+            }
+        }
+        report
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    queue: &Queue,
+    builder: &(dyn Fn(usize) -> XdmResult<DataSpace> + Send + Sync),
+    barrier: &std::sync::Barrier,
+) -> WorkerExit {
+    // Tag this thread so injected faults record which worker hit them.
+    fault::set_current_worker(Some(idx));
+    let space = builder(idx);
+    let init_error = space.as_ref().err().map(|e| e.to_string());
+    barrier.wait();
+    let mut served = 0u64;
+    while let Some(job) = queue.pop() {
+        let result = match &space {
+            Ok(space) => serve_one(space, &job.request),
+            Err(e) => Err(e.clone()),
+        };
+        served += 1;
+        job.reply.fill(ServeReply { worker: idx, result });
+    }
+    let stats = match &space {
+        Ok(space) => space.engine().opt_stats(),
+        Err(_) => OptStats::default(),
+    };
+    WorkerExit { served, stats, init_error }
+}
+
+fn serve_one(space: &DataSpace, request: &ServeRequest) -> Result<String, XdmError> {
+    match request {
+        ServeRequest::Get { service, method, args } => {
+            let args = args.iter().map(ServeArg::to_sequence).collect();
+            let graph = space.get(service, method, args)?;
+            Ok(xmlparse::serialize_sequence(graph.instances()))
+        }
+        ServeRequest::Run { program } => {
+            let mut env = Env::new();
+            let out = space.xqse().run_with_env(program, &mut env)?;
+            Ok(xmlparse::serialize_sequence(&out))
+        }
+        ServeRequest::Submit { service, method, args, sets } => {
+            let args = args.iter().map(ServeArg::to_sequence).collect();
+            let graph = space.get(service, method, args)?;
+            for (instance, path, value) in sets {
+                let steps: Vec<&str> = path.iter().map(String::as_str).collect();
+                graph.set_value(*instance, &steps, value)?;
+            }
+            space.submit(&graph)?;
+            Ok("ok".to_string())
+        }
+    }
+}
+
+/// Serve `requests` through `clients` closed-loop client threads over
+/// an existing pool and return `(replies, elapsed)`. Requests are
+/// dealt round-robin to clients; each client blocks on one request at
+/// a time (the E14 driver).
+pub fn drive_closed_loop(
+    pool: &ServePool,
+    requests: &[ServeRequest],
+    clients: usize,
+) -> (Vec<ServeReply>, std::time::Duration) {
+    let clients = clients.max(1);
+    let started = std::time::Instant::now();
+    let replies: Mutex<Vec<(usize, ServeReply)>> = Mutex::new(Vec::new());
+    let next: AtomicU64 = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= requests.len() {
+                    break;
+                }
+                let reply = pool.call(requests[i].clone());
+                if let Ok(mut sink) = replies.lock() {
+                    sink.push((i, reply));
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut indexed = replies.into_inner().unwrap_or_default();
+    indexed.sort_by_key(|(i, _)| *i);
+    (indexed.into_iter().map(|(_, r)| r).collect(), elapsed)
+}

@@ -7,11 +7,19 @@
 //! optimistic-concurrency "sameness" predicates, constraint
 //! enforcement, and **XA two-phase commit**.
 //!
-//! Concurrency model: one global lock per database around each call
-//! (calls are short), plus a *prepared-lock table* that pins the rows
-//! touched by a prepared-but-undecided transaction so a concurrent
-//! transaction cannot slip between `prepare` and `commit` — the
-//! standard presumed-abort XA discipline.
+//! Concurrency model: the store is sharded per table — every table
+//! sits behind its own `RwLock`, so readers of different tables (and
+//! concurrent readers of the same table) never contend, while a
+//! transactional write takes the affected tables' write locks in
+//! **canonical (sorted-name) order** so two multi-table transactions
+//! can never deadlock. A separate *prepared-lock table* (the
+//! transaction-manager mutex) pins the rows touched by a
+//! prepared-but-undecided transaction so a concurrent transaction
+//! cannot slip between `prepare` and `commit` — the standard
+//! presumed-abort XA discipline. Lock hierarchy: catalog (briefly, to
+//! resolve table handles) → table shards in sorted name order → the
+//! transaction-manager / read-cache leaf mutexes. No path acquires a
+//! shard lock while holding a leaf mutex.
 
 // The versioned-scan/secondary-index layer sits on every read path,
 // and the branch commit/rollback path is replayed by crash recovery;
@@ -24,7 +32,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 
 use xdm::datetime::{Date, DateTime};
 use xdm::decimal::Decimal;
@@ -301,19 +309,63 @@ struct Prepared {
     inserted_keys: Vec<(String, Vec<SqlValue>)>,
 }
 
+/// One table shard: the unit of reader/writer concurrency.
+type TableHandle = Arc<RwLock<TableData>>;
+
+/// Transaction-manager state: the prepared-lock table plus the
+/// commit/abort counters. A leaf mutex in the lock hierarchy — no
+/// path may acquire a table shard lock while holding it.
 #[derive(Debug, Default)]
-struct DbInner {
-    tables: HashMap<String, TableData>,
-    table_order: Vec<String>,
+struct TxState {
     prepared: HashMap<TxId, Prepared>,
     commits: u64,
     aborts: u64,
+}
+
+#[derive(Debug, Default)]
+struct DbShared {
+    /// The catalog: table name → shard. Write-locked only by
+    /// `create_table`; every data path takes a brief read lock to
+    /// clone the shard handle and drops it before locking the shard.
+    catalog: RwLock<HashMap<String, TableHandle>>,
+    /// Table names in creation order (leaf mutex).
+    table_order: Mutex<Vec<String>>,
+    /// Transaction-manager state (leaf mutex).
+    txm: Mutex<TxState>,
     /// Last successfully read snapshot per table (tagged with the
     /// table version *at snapshot time*), served as a marked-stale
     /// result when the source is unavailable and the resilience
     /// policy allows degraded reads. Stale consumers must key any
     /// derived caches on the snapshot's version, never the live one.
-    read_cache: HashMap<String, (u64, Vec<Row>)>,
+    /// Leaf mutex: held only for the map insert/lookup, never while a
+    /// shard lock is being acquired.
+    read_cache: Mutex<HashMap<String, (u64, Vec<Row>)>>,
+}
+
+/// Generation numbers for [`AccessSlot`]s are drawn from one global
+/// counter, so a (slot address, generation) pair can never collide
+/// across reallocated slots — the per-thread access cache keys on it.
+static NEXT_ACCESS_GEN: AtomicU64 = AtomicU64::new(1);
+
+/// The source's installed [`Access`] handle, readable without
+/// contention: workers cache a private clone per thread keyed by the
+/// slot's generation (bumped on every [`Database::set_access`]), so
+/// the per-call path is one atomic load plus a thread-local lookup —
+/// per-worker resilience state over shared breaker/injector cores
+/// (the cores inside `Access` are `Arc`s, so a breaker trip observed
+/// by one worker is seen by all).
+#[derive(Debug)]
+struct AccessSlot {
+    /// 0 = never installed (fast path: `Access::none()` without
+    /// touching the lock or the thread-local cache).
+    gen: AtomicU64,
+    slot: RwLock<Access>,
+}
+
+thread_local! {
+    /// Per-thread access clones: slot address → (generation, Access).
+    static ACCESS_CACHE: std::cell::RefCell<HashMap<usize, (u64, Access)>> =
+        std::cell::RefCell::new(HashMap::new());
 }
 
 /// An in-memory relational database (one "source" in ALDSP terms).
@@ -330,8 +382,8 @@ struct DbInner {
 pub struct Database {
     /// The source name (e.g. `db1`).
     pub name: String,
-    inner: Arc<Mutex<DbInner>>,
-    access: Arc<Mutex<Access>>,
+    shared: Arc<DbShared>,
+    access: Arc<AccessSlot>,
     /// Optimize-gated write-path fast paths (index-accelerated
     /// primary-key uniqueness checks in `prepare`). `Arc<AtomicBool>`
     /// rather than the engine's `Rc<Cell<bool>>` because `Database`
@@ -350,10 +402,23 @@ impl Database {
     pub fn new(name: &str) -> Database {
         Database {
             name: name.to_string(),
-            inner: Arc::new(Mutex::new(DbInner::default())),
-            access: Arc::new(Mutex::new(Access::none())),
+            shared: Arc::new(DbShared::default()),
+            access: Arc::new(AccessSlot {
+                gen: AtomicU64::new(0),
+                slot: RwLock::new(Access::none()),
+            }),
             write_opt: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Resolve a table's shard handle (brief catalog read lock).
+    fn table_handle(&self, table: &str) -> XdmResult<TableHandle> {
+        self.shared
+            .catalog
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))
     }
 
     /// The optimize mirror for this source's write-path fast paths.
@@ -368,20 +433,46 @@ impl Database {
     }
 
     /// Install (or replace) the fault-injection / resilience handle
-    /// for this source. Shared across clones.
+    /// for this source. Shared across clones: bumps the slot
+    /// generation so every worker's thread-local clone refreshes on
+    /// its next [`Database::access`] call.
     pub fn set_access(&self, access: Access) {
-        *self.access.lock() = access;
+        *self.access.slot.write() = access;
+        self.access
+            .gen
+            .store(NEXT_ACCESS_GEN.fetch_add(1, Ordering::Relaxed), Ordering::Release);
     }
 
-    /// A snapshot of this source's access handle.
+    /// A snapshot of this source's access handle — the per-worker
+    /// resilience state. The hot path is lock-free: one atomic
+    /// generation load plus a thread-local cache lookup; only a
+    /// generation change (a new handle installed) re-reads the shared
+    /// slot. The breaker/injector cores inside the clone are `Arc`s,
+    /// so they stay shared across all workers.
     pub fn access(&self) -> Access {
-        self.access.lock().clone()
+        let gen = self.access.gen.load(Ordering::Acquire);
+        if gen == 0 {
+            // Never installed: skip the cache entirely.
+            return Access::none();
+        }
+        let key = Arc::as_ptr(&self.access) as usize;
+        ACCESS_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if let Some((g, a)) = c.get(&key) {
+                if *g == gen {
+                    return a.clone();
+                }
+            }
+            let a = self.access.slot.read().clone();
+            c.insert(key, (gen, a.clone()));
+            a
+        })
     }
 
     /// Create a table.
     pub fn create_table(&self, schema: TableSchema) -> XdmResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.tables.contains_key(&schema.name) {
+        let mut catalog = self.shared.catalog.write();
+        if catalog.contains_key(&schema.name) {
             return Err(cerr(format!("table {} already exists", schema.name)));
         }
         for pk in &schema.primary_key {
@@ -389,33 +480,28 @@ impl Database {
                 return Err(cerr(format!("PK column {pk} not in table {}", schema.name)));
             }
         }
-        inner.table_order.push(schema.name.clone());
-        inner.tables.insert(
+        self.shared.table_order.lock().push(schema.name.clone());
+        catalog.insert(
             schema.name.clone(),
-            TableData {
+            Arc::new(RwLock::new(TableData {
                 schema,
                 rows: Vec::new(),
                 next_row_id: 1,
                 version: 1,
                 indexes: HashMap::new(),
-            },
+            })),
         );
         Ok(())
     }
 
     /// Table names in creation order.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.lock().table_order.clone()
+        self.shared.table_order.lock().clone()
     }
 
     /// A table's schema.
     pub fn schema(&self, table: &str) -> XdmResult<TableSchema> {
-        let inner = self.inner.lock();
-        inner
-            .tables
-            .get(table)
-            .map(|t| t.schema.clone())
-            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))
+        Ok(self.table_handle(table)?.read().schema.clone())
     }
 
     /// All rows of a table (committed state).
@@ -435,19 +521,18 @@ impl Database {
     }
 
     fn scan_raw(&self, table: &str) -> XdmResult<Vec<Row>> {
-        let mut inner = self.inner.lock();
-        let t = inner
-            .tables
-            .get(table)
-            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
-        let ver = t.version;
-        let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
-        inner.read_cache.insert(table.to_string(), (ver, rows.clone()));
+        let h = self.table_handle(table)?;
+        let (ver, rows) = {
+            let t = h.read();
+            let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
+            (t.version, rows)
+        };
+        self.shared.read_cache.lock().insert(table.to_string(), (ver, rows.clone()));
         Ok(rows)
     }
 
     fn cached_rows(&self, table: &str) -> Option<Vec<Row>> {
-        self.inner.lock().read_cache.get(table).map(|(_, rows)| rows.clone())
+        self.shared.read_cache.lock().get(table).map(|(_, rows)| rows.clone())
     }
 
     /// The table's current version counter (bumped once per committed
@@ -456,12 +541,7 @@ impl Database {
     /// [`Access`] handle, so cache-validity probes neither trip fault
     /// injection nor count as source traffic.
     pub fn table_version(&self, table: &str) -> XdmResult<u64> {
-        let inner = self.inner.lock();
-        inner
-            .tables
-            .get(table)
-            .map(|t| t.version)
-            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))
+        Ok(self.table_handle(table)?.read().version)
     }
 
     /// Versioned scan for materialization caching: returns the table
@@ -492,17 +572,16 @@ impl Database {
         table: &str,
         known: Option<u64>,
     ) -> XdmResult<(u64, Option<Vec<Row>>)> {
-        let mut inner = self.inner.lock();
-        let t = inner
-            .tables
-            .get(table)
-            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
-        let ver = t.version;
-        if known == Some(ver) {
-            return Ok((ver, None));
-        }
-        let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
-        inner.read_cache.insert(table.to_string(), (ver, rows.clone()));
+        let h = self.table_handle(table)?;
+        let (ver, rows) = {
+            let t = h.read();
+            if known == Some(t.version) {
+                return Ok((t.version, None));
+            }
+            let rows: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
+            (t.version, rows)
+        };
+        self.shared.read_cache.lock().insert(table.to_string(), (ver, rows.clone()));
         Ok((ver, Some(rows)))
     }
 
@@ -511,8 +590,8 @@ impl Database {
         table: &str,
         known: Option<u64>,
     ) -> Option<(u64, Option<Vec<Row>>)> {
-        let inner = self.inner.lock();
-        let (ver, rows) = inner.read_cache.get(table)?;
+        let cache = self.shared.read_cache.lock();
+        let (ver, rows) = cache.get(table)?;
         if known == Some(*ver) {
             Some((*ver, None))
         } else {
@@ -533,24 +612,27 @@ impl Database {
     }
 
     fn select_raw(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
-        let mut inner = self.inner.lock();
-        let t = inner
-            .tables
-            .get(table)
-            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
-        let idx = cond_indices(&t.schema, cond)?;
-        let ver = t.version;
-        let all: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
-        let hits = all.iter().filter(|r| row_matches(r, &idx)).cloned().collect();
-        inner.read_cache.insert(table.to_string(), (ver, all));
+        let h = self.table_handle(table)?;
+        let (ver, all, hits) = {
+            let t = h.read();
+            let idx = cond_indices(&t.schema, cond)?;
+            let all: Vec<Row> = t.rows.iter().map(|(_, r)| r.clone()).collect();
+            let hits: Vec<Row> =
+                all.iter().filter(|r| row_matches(r, &idx)).cloned().collect();
+            (t.version, all, hits)
+        };
+        self.shared.read_cache.lock().insert(table.to_string(), (ver, all));
         Ok(hits)
     }
 
     fn cached_select(&self, table: &str, cond: &Condition) -> Option<Vec<Row>> {
-        let inner = self.inner.lock();
-        let t = inner.tables.get(table)?;
-        let idx = cond_indices(&t.schema, cond).ok()?;
-        let (_, cached) = inner.read_cache.get(table)?;
+        let idx = {
+            let h = self.table_handle(table).ok()?;
+            let t = h.read();
+            cond_indices(&t.schema, cond).ok()?
+        };
+        let cache = self.shared.read_cache.lock();
+        let (_, cached) = cache.get(table)?;
         Some(cached.iter().filter(|r| row_matches(r, &idx)).cloned().collect())
     }
 
@@ -578,64 +660,55 @@ impl Database {
     }
 
     fn select_indexed_raw(&self, table: &str, cond: &Condition) -> XdmResult<Vec<Row>> {
-        let mut inner = self.inner.lock();
-        let t = inner
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| cerr(format!("no table {table} in {}", self.name)))?;
-        let idx = cond_indices(&t.schema, cond)?;
-        let TableData { schema, rows, indexes, .. } = &mut *t;
-        let probe = cond.iter().find_map(|(c, v)| {
-            let col = schema.column(c)?;
-            if !indexable_type(col.ty) {
-                return None;
+        let h = self.table_handle(table)?;
+        // Fast path under the shared lock: concurrent indexed readers
+        // of the same table must not contend once the index exists.
+        {
+            let t = h.read();
+            let idx = cond_indices(&t.schema, cond)?;
+            let probe = index_probe(&t.schema, cond);
+            let Some((col, fp)) = probe else {
+                // No indexable column in the condition: plain filtered
+                // scan (without refreshing the stale-read snapshot —
+                // only full scans snapshot the table).
+                return Ok(t
+                    .rows
+                    .iter()
+                    .filter(|(_, r)| row_matches(r, &idx))
+                    .map(|(_, r)| r.clone())
+                    .collect());
+            };
+            if let Some(map) = t.indexes.get(&col) {
+                return Ok(probe_sorted_ids(&t.rows, map.get(&fp), &idx));
             }
-            index_fingerprint(v).map(|fp| (c.clone(), fp))
-        });
-        let Some((col, fp)) = probe else {
-            // No indexable column in the condition: plain filtered scan
-            // (without refreshing the stale-read snapshot — only full
-            // scans snapshot the table).
-            return Ok(rows
+        }
+        // Slow path: build the index under the exclusive lock, then
+        // probe it (re-deriving everything — the table may have moved
+        // between the lock releases).
+        let mut t = h.write();
+        let idx = cond_indices(&t.schema, cond)?;
+        let Some((col, fp)) = index_probe(&t.schema, cond) else {
+            return Ok(t
+                .rows
                 .iter()
                 .filter(|(_, r)| row_matches(r, &idx))
                 .map(|(_, r)| r.clone())
                 .collect());
         };
+        let TableData { schema, rows, indexes, .. } = &mut *t;
         if !indexes.contains_key(&col) {
             let built = build_index(schema, rows, &col);
             indexes.insert(col.clone(), built);
         }
-        let mut ids = indexes
-            .get(&col)
-            .and_then(|m| m.get(&fp))
-            .cloned()
-            .unwrap_or_default();
-        // Buckets accumulate in maintenance order; results must come
-        // back in table (row-id) order, exactly like a full scan.
-        ids.sort_unstable();
-        let mut hits = Vec::new();
-        for id in ids {
-            // `rows` is always sorted by row id (ids are allocated
-            // monotonically and deletes preserve order).
-            if let Ok(pos) = rows.binary_search_by_key(&id, |(rid, _)| *rid) {
-                let (_, r) = &rows[pos];
-                if row_matches(r, &idx) {
-                    hits.push(r.clone());
-                }
-            }
-        }
-        Ok(hits)
+        Ok(probe_sorted_ids(rows, indexes.get(&col).and_then(|m| m.get(&fp)), &idx))
     }
 
     /// Columns of `table` that currently have a built secondary index
     /// (diagnostics; `xqsh --explain`).
     pub fn indexed_columns(&self, table: &str) -> Vec<String> {
-        let inner = self.inner.lock();
-        inner
-            .tables
-            .get(table)
-            .map(|t| {
+        self.table_handle(table)
+            .map(|h| {
+                let t = h.read();
                 let mut cols: Vec<String> = t.indexes.keys().cloned().collect();
                 cols.sort();
                 cols
@@ -645,11 +718,11 @@ impl Database {
 
     /// Number of rows.
     pub fn row_count(&self, table: &str) -> XdmResult<usize> {
-        let inner = self.inner.lock();
-        inner
-            .tables
+        self.shared
+            .catalog
+            .read()
             .get(table)
-            .map(|t| t.rows.len())
+            .map(|h| h.read().rows.len())
             .ok_or_else(|| cerr(format!("no table {table}")))
     }
 
@@ -684,12 +757,32 @@ impl Database {
     }
 
     fn prepare_raw(&self, tx: TxId, ops: Vec<WriteOp>) -> XdmResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.prepared.contains_key(&tx) {
+        // Canonical lock order: write-lock every affected table shard
+        // in sorted name order (two transactions touching the same
+        // tables in opposite declaration order therefore can never
+        // deadlock), THEN take the transaction-manager mutex — never
+        // the other way round.
+        let names = affected_tables(&ops);
+        let handles: Vec<TableHandle> = names
+            .iter()
+            .map(|n| {
+                self.shared
+                    .catalog
+                    .read()
+                    .get(n)
+                    .cloned()
+                    .ok_or_else(|| cerr(format!("no table {n}")))
+            })
+            .collect::<XdmResult<_>>()?;
+        let mut guards: Vec<RwLockWriteGuard<'_, TableData>> =
+            handles.iter().map(|h| h.write()).collect();
+        let use_index = self.write_opt.load(Ordering::Relaxed);
+        let mut txm = self.shared.txm.lock();
+        if txm.prepared.contains_key(&tx) {
             return Err(cerr(format!("transaction {tx:?} already prepared")));
         }
         // Collect locks already held by other prepared transactions.
-        let held: HashSet<(String, u64)> = inner
+        let held: HashSet<(String, u64)> = txm
             .prepared
             .values()
             .flat_map(|p| p.locked.iter().cloned())
@@ -697,18 +790,18 @@ impl Database {
         let mut locked = HashSet::new();
         let mut inserted_keys: Vec<(String, Vec<SqlValue>)> = Vec::new();
         // Pending inserts of other prepared txs also reserve PKs.
-        let reserved_keys: HashSet<(String, String)> = inner
+        let reserved_keys: HashSet<(String, String)> = txm
             .prepared
             .values()
             .flat_map(|p| p.inserted_keys.iter())
             .map(|(t, k)| (t.clone(), key_fingerprint(k)))
             .collect();
-        let use_index = self.write_opt.load(Ordering::Relaxed);
         for op in &ops {
-            let t = inner
-                .tables
-                .get_mut(op.table())
+            let ti = names
+                .iter()
+                .position(|n| n == op.table())
                 .ok_or_else(|| cerr(format!("no table {}", op.table())))?;
+            let t: &mut TableData = &mut guards[ti];
             match op {
                 WriteOp::Insert { table, row } => {
                     validate_insert_shape(&t.schema, row)?;
@@ -803,7 +896,7 @@ impl Database {
                 }
             }
         }
-        inner.prepared.insert(tx, Prepared { ops, locked, inserted_keys });
+        txm.prepared.insert(tx, Prepared { ops, locked, inserted_keys });
         Ok(())
     }
 
@@ -837,8 +930,47 @@ impl Database {
                 self.name
             ))
         };
-        let mut inner = self.inner.lock();
-        let Some(p) = inner.prepared.remove(&tx) else { return Ok(false) };
+        // Peek the affected table set under the tx-manager lock, then
+        // RELEASE it before taking shard locks (leaf mutexes are never
+        // held across shard acquisition). The entry is claimed — i.e.
+        // removed — only after the shards are write-locked, so a
+        // concurrent duplicate commit_branch loses the race and
+        // returns Ok(false).
+        let names: Vec<String> = {
+            let txm = self.shared.txm.lock();
+            match txm.prepared.get(&tx) {
+                Some(p) => affected_tables(&p.ops),
+                None => return Ok(false),
+            }
+        };
+        let handles: Vec<TableHandle> = names
+            .iter()
+            .map(|n| {
+                self.shared
+                    .catalog
+                    .read()
+                    .get(n)
+                    .cloned()
+                    .ok_or_else(|| replay_err(&format!("table {n}")))
+            })
+            .collect::<XdmResult<_>>()?;
+        // Canonical order: `names` is sorted, so the write locks are
+        // taken in the same global order as prepare_raw's.
+        let mut guards: Vec<RwLockWriteGuard<'_, TableData>> =
+            handles.iter().map(|h| h.write()).collect();
+        let p = {
+            let mut txm = self.shared.txm.lock();
+            match txm.prepared.remove(&tx) {
+                Some(p) => p,
+                None => return Ok(false),
+            }
+        };
+        let lookup = |table: &str| -> XdmResult<usize> {
+            names
+                .iter()
+                .position(|n| n == table)
+                .ok_or_else(|| replay_err(&format!("table {table}")))
+        };
         let mut touched: Vec<String> = Vec::new();
         for op in p.ops {
             let tname = op.table().to_string();
@@ -847,10 +979,8 @@ impl Database {
             }
             match op {
                 WriteOp::Insert { table, row } => {
-                    let t = inner
-                        .tables
-                        .get_mut(&table)
-                        .ok_or_else(|| replay_err(&format!("table {table}")))?;
+                    let ti = lookup(&table)?;
+                    let t: &mut TableData = &mut guards[ti];
                     let TableData { schema, rows, next_row_id, indexes, .. } = &mut *t;
                     let id = *next_row_id;
                     *next_row_id += 1;
@@ -865,10 +995,8 @@ impl Database {
                     rows.push((id, row));
                 }
                 WriteOp::Update { table, set, cond, .. } => {
-                    let t = inner
-                        .tables
-                        .get_mut(&table)
-                        .ok_or_else(|| replay_err(&format!("table {table}")))?;
+                    let ti = lookup(&table)?;
+                    let t: &mut TableData = &mut guards[ti];
                     let TableData { schema, rows, indexes, .. } = &mut *t;
                     let idx = cond_indices(schema, &cond)
                         .map_err(|_| replay_err("condition column"))?;
@@ -918,10 +1046,8 @@ impl Database {
                     }
                 }
                 WriteOp::Delete { table, cond, .. } => {
-                    let t = inner
-                        .tables
-                        .get_mut(&table)
-                        .ok_or_else(|| replay_err(&format!("table {table}")))?;
+                    let ti = lookup(&table)?;
+                    let t: &mut TableData = &mut guards[ti];
                     let TableData { schema, rows, indexes, .. } = &mut *t;
                     let idx = cond_indices(schema, &cond)
                         .map_err(|_| replay_err("condition column"))?;
@@ -947,11 +1073,12 @@ impl Database {
         // One version bump per touched table per committed transaction:
         // this is what invalidates the materialization caches above.
         for table in touched {
-            if let Some(t) = inner.tables.get_mut(&table) {
-                t.version += 1;
+            if let Some(ti) = names.iter().position(|n| *n == table) {
+                guards[ti].version += 1;
             }
         }
-        inner.commits += 1;
+        drop(guards);
+        self.shared.txm.lock().commits += 1;
         Ok(true)
     }
 
@@ -967,36 +1094,51 @@ impl Database {
     /// back, already committed, or never prepared here) — replaying a
     /// presumed abort is always safe.
     pub fn rollback_branch(&self, tx: TxId) -> bool {
-        let mut inner = self.inner.lock();
-        if let Some(p) = inner.prepared.remove(&tx) {
-            // Conservative: drop the secondary indexes of every table
-            // the aborted transaction *named*. The rows never changed
-            // (writes are buffered until commit), so this is purely a
-            // belt-and-braces measure — the indexes are rebuilt lazily
-            // on the next indexed select. Versions are untouched: the
-            // committed state is exactly what it was.
-            for op in &p.ops {
-                if let Some(t) = inner.tables.get_mut(op.table()) {
-                    t.indexes.clear();
+        let p = {
+            let mut txm = self.shared.txm.lock();
+            match txm.prepared.remove(&tx) {
+                Some(p) => {
+                    txm.aborts += 1;
+                    p
                 }
+                None => return false,
             }
-            inner.aborts += 1;
-            true
-        } else {
-            false
+        };
+        // Conservative: drop the secondary indexes of every table
+        // the aborted transaction *named*. The rows never changed
+        // (writes are buffered until commit), so this is purely a
+        // belt-and-braces measure — the indexes are rebuilt lazily
+        // on the next indexed select. Versions are untouched: the
+        // committed state is exactly what it was. Shard locks are
+        // taken one at a time, after the tx-manager lock is released.
+        for name in affected_tables(&p.ops) {
+            if let Some(h) = self.shared.catalog.read().get(&name).cloned() {
+                h.write().indexes.clear();
+            }
         }
+        true
     }
 
     /// Is the transaction currently in prepared state?
     pub fn is_prepared(&self, tx: TxId) -> bool {
-        self.inner.lock().prepared.contains_key(&tx)
+        self.shared.txm.lock().prepared.contains_key(&tx)
     }
 
     /// (commits, aborts) counters — used by the XA experiments.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.commits, inner.aborts)
+        let txm = self.shared.txm.lock();
+        (txm.commits, txm.aborts)
     }
+}
+
+/// Sorted, deduplicated table names touched by a write set — the
+/// canonical shard-lock acquisition order shared by `prepare_raw` and
+/// `commit_branch`.
+fn affected_tables(ops: &[WriteOp]) -> Vec<String> {
+    let mut names: Vec<String> = ops.iter().map(|op| op.table().to_string()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
 }
 
 fn validate_insert_shape(schema: &TableSchema, row: &Row) -> XdmResult<()> {
@@ -1125,6 +1267,44 @@ fn index_fingerprint(v: &SqlValue) -> Option<String> {
         SqlValue::Bool(b) => Some(format!("b{b}")),
         _ => None,
     }
+}
+
+/// First condition column with an indexable type (INTEGER, VARCHAR,
+/// BOOLEAN) and a non-NULL probe value, as `(column, fingerprint)`.
+/// `None` sends the caller down the filtered-scan path.
+fn index_probe(schema: &TableSchema, cond: &Condition) -> Option<(String, String)> {
+    cond.iter().find_map(|(c, v)| {
+        let col = schema.column(c)?;
+        if !indexable_type(col.ty) {
+            return None;
+        }
+        index_fingerprint(v).map(|fp| (c.clone(), fp))
+    })
+}
+
+/// Probe a secondary-index bucket and re-verify every candidate
+/// against the full condition. Results come back in table (row-id)
+/// order, exactly like a full scan: buckets accumulate in maintenance
+/// order, so the ids are sorted first.
+fn probe_sorted_ids(
+    rows: &[(u64, Row)],
+    ids: Option<&Vec<u64>>,
+    idx: &[(usize, SqlValue)],
+) -> Vec<Row> {
+    let mut ids = ids.cloned().unwrap_or_default();
+    ids.sort_unstable();
+    let mut hits = Vec::new();
+    for id in ids {
+        // `rows` is always sorted by row id (ids are allocated
+        // monotonically and deletes preserve order).
+        if let Ok(pos) = rows.binary_search_by_key(&id, |(rid, _)| *rid) {
+            let (_, r) = &rows[pos];
+            if row_matches(r, idx) {
+                hits.push(r.clone());
+            }
+        }
+    }
+    hits
 }
 
 fn build_index(

@@ -248,6 +248,18 @@ impl DataSpace {
         self.access.borrow().clone()
     }
 
+    /// Install a pre-built access handle (fault injector + resilience
+    /// cores) and propagate it to every registered source. This is how
+    /// serving-pool worker builders share one injector/breaker across
+    /// all workers: the main thread builds the `Access` once, each
+    /// worker's builder installs the same clone, and the `Arc` cores
+    /// inside make a breaker trip observed by one worker visible to
+    /// all.
+    pub fn install_access(&self, access: Access) {
+        *self.access.borrow_mut() = access;
+        self.propagate_access();
+    }
+
     fn propagate_access(&self) {
         let access = self.access.borrow().clone();
         for db in self.databases.borrow().values() {

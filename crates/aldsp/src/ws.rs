@@ -287,14 +287,47 @@ impl WebService {
     /// 300–850 (the paper's testbed service is unavailable; this
     /// preserves the call shape and a realistic output domain).
     pub fn credit_rating(namespace: &str) -> WebService {
-        let ns = namespace.to_string();
         let mut svc = WebService::new("CreditRating", namespace);
-        let ns2 = ns.clone();
+        svc.add_operation(
+            "getCreditRating",
+            "getCreditRating",
+            "getCreditRatingResponse",
+            credit_rating_handler(namespace.to_string()),
+        );
+        svc
+    }
+
+    /// [`WebService::credit_rating`] with `delay_us` microseconds of
+    /// real per-call latency in the handler — a stand-in for the wire
+    /// round trip to the paper's remote rating service. The E14
+    /// serving-pool experiment uses this: on a single-core host,
+    /// throughput scaling comes from workers *overlapping* these
+    /// waits, exactly the middle-tier regime ALDSP served.
+    pub fn credit_rating_delayed(namespace: &str, delay_us: u64) -> WebService {
+        let inner = credit_rating_handler(namespace.to_string());
+        let mut svc = WebService::new("CreditRating", namespace);
+        // A throughput benchmark over a cached source measures the
+        // cache, not the source: disable the read-through response
+        // cache so every request honestly pays the simulated wire
+        // latency.
+        svc.set_response_cache_capacity(0);
         svc.add_operation(
             "getCreditRating",
             "getCreditRating",
             "getCreditRatingResponse",
             Rc::new(move |request: &Sequence| {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                inner(request)
+            }),
+        );
+        svc
+    }
+}
+
+/// The shared `getCreditRating` handler body (see
+/// [`WebService::credit_rating`] for the semantics).
+fn credit_rating_handler(ns2: String) -> WsHandler {
+    Rc::new(move |request: &Sequence| {
                 let req = request.exactly_one()?;
                 let Item::Node(node) = req else {
                     return Err(XdmError::new(
@@ -334,10 +367,7 @@ impl WebService {
                 v.append_child(&NodeHandle::new_text(resp.arena(), rating.to_string()))?;
                 resp.append_child(&v)?;
                 Ok(Sequence::one(Item::Node(resp)))
-            }),
-        );
-        svc
-    }
+    })
 }
 
 /// A stable key for one (operation, request) pair, used by the

@@ -18,6 +18,24 @@ use xqeval::Env;
 
 pub use aldsp::demo;
 
+/// The E14 read workload: one `getProfileById` request per distinct
+/// customer (`1..=n`), so per-worker response caches cannot swallow
+/// the simulated source latency — every request pays the wire.
+pub fn serve_profile_requests(n: usize) -> Vec<aldsp::pool::ServeRequest> {
+    (0..n.max(1))
+        .map(|i| aldsp::pool::ServeRequest::Get {
+            service: "CustomerProfile".to_string(),
+            method: "getProfileById".to_string(),
+            args: vec![aldsp::pool::ServeArg::Str((i + 1).to_string())],
+        })
+        .collect()
+}
+
+/// Queries per second from a request count and an elapsed duration.
+pub fn qps(requests: usize, elapsed: std::time::Duration) -> f64 {
+    requests as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
 /// Time a closure, returning (result, seconds).
 pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let t = Instant::now();

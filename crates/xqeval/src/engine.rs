@@ -157,6 +157,33 @@ pub struct OptStats {
     pub xa_replays_skipped: u64,
 }
 
+impl OptStats {
+    /// Fold another counter block into this one, field by field. The
+    /// serving pool uses this to aggregate each worker's per-engine
+    /// counters into the single totals line `xqsh --explain` prints.
+    pub fn accumulate(&mut self, other: &OptStats) {
+        self.join_hits += other.join_hits;
+        self.join_misses += other.join_misses;
+        self.join_invalidations += other.join_invalidations;
+        self.mat_hits += other.mat_hits;
+        self.mat_misses += other.mat_misses;
+        self.mat_invalidations += other.mat_invalidations;
+        self.pushdown_rewrites += other.pushdown_rewrites;
+        self.indexed_selects += other.indexed_selects;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.ws_requests += other.ws_requests;
+        self.ws_issued += other.ws_issued;
+        self.ws_coalesced += other.ws_coalesced;
+        self.ws_batches += other.ws_batches;
+        self.xa_recovery_runs += other.xa_recovery_runs;
+        self.xa_in_doubt += other.xa_in_doubt;
+        self.xa_rolled_forward += other.xa_rolled_forward;
+        self.xa_rolled_back += other.xa_rolled_back;
+        self.xa_replays_skipped += other.xa_replays_skipped;
+    }
+}
+
 /// Live (interior-mutability) counter block behind [`OptStats`].
 /// Shared with the evaluator and with host source closures (the
 /// introspected read functions count materialization hits/misses and

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """Compare freshly measured BENCH_E*.json tables against baselines.
 
-Usage: bench_diff.py <fresh-dir> <baseline-dir> [--warn-pct N]
+Usage: bench_diff.py <fresh-dir> <baseline-dir> [--warn-pct N] [--qps-fail-pct N]
 
-Matches rows positionally per experiment, compares every column whose
-header ends in `_ms` or equals `latency (ms)`-style names containing
-"(ms)", and reports any fresh value more than N % slower than the
-baseline. Exit status 1 if regressions were found, 0 otherwise (the
-caller decides whether that is fatal; check.sh treats it as a warning).
+Matches rows positionally per experiment. Two kinds of columns are
+compared:
+
+* timing columns (header ends in `_ms`, contains `(ms)`, or ends in
+  `(µs)`): lower is better; a fresh value more than --warn-pct %
+  *slower* than baseline is a (warn-level) regression -> exit 1.
+* throughput columns (header contains `qps`): higher is better; a
+  fresh value more than --warn-pct % *lower* is a warn-level
+  regression, and a drop beyond --qps-fail-pct % on a `pool-4` row
+  (the E14 4-worker serving-pool arm) is a HARD failure -> exit 2.
+  check.sh treats exit 1 as a warning and exit 2 as a gate failure.
 """
 
 import json
@@ -23,6 +29,10 @@ def timing_columns(header):
     ]
 
 
+def qps_columns(header):
+    return [i for i, h in enumerate(header) if "qps" in h.lower()]
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -31,8 +41,12 @@ def main(argv):
     warn_pct = 25.0
     if "--warn-pct" in argv:
         warn_pct = float(argv[argv.index("--warn-pct") + 1])
+    qps_fail_pct = 15.0
+    if "--qps-fail-pct" in argv:
+        qps_fail_pct = float(argv[argv.index("--qps-fail-pct") + 1])
 
     regressions = []
+    hard_failures = []
     compared = 0
     for base_path in sorted(base_dir.glob("BENCH_E*.json")):
         fresh_path = fresh_dir / base_path.name
@@ -44,9 +58,10 @@ def main(argv):
         if base.get("header") != fresh.get("header"):
             print(f"bench_diff: {base_path.name}: header changed; skipped")
             continue
-        cols = timing_columns(base["header"])
+        t_cols = timing_columns(base["header"])
+        q_cols = qps_columns(base["header"])
         for row_i, (brow, frow) in enumerate(zip(base["rows"], fresh["rows"])):
-            for c in cols:
+            for c in t_cols:
                 try:
                     b, f = float(brow[c]), float(frow[c])
                 except (ValueError, IndexError):
@@ -57,13 +72,39 @@ def main(argv):
                         f"{base['id']} row {row_i} `{base['header'][c]}`: "
                         f"{b:.2f} -> {f:.2f} (+{(f / b - 1) * 100:.0f}%)"
                     )
+            for c in q_cols:
+                try:
+                    b, f = float(brow[c]), float(frow[c])
+                except (ValueError, IndexError):
+                    continue
+                compared += 1
+                if b <= 0:
+                    continue
+                drop_pct = (1.0 - f / b) * 100.0
+                label = str(brow[0]) if brow else ""
+                cell = (
+                    f"{base['id']} row {row_i} ({label}) `{base['header'][c]}`: "
+                    f"{b:.2f} -> {f:.2f} (-{drop_pct:.0f}%)"
+                )
+                if label == "pool-4" and drop_pct > qps_fail_pct:
+                    hard_failures.append(cell)
+                elif drop_pct > warn_pct:
+                    regressions.append(cell)
 
-    print(f"bench_diff: compared {compared} timing cells")
+    print(f"bench_diff: compared {compared} timing/throughput cells")
+    if hard_failures:
+        print(f"bench_diff: HARD FAIL — 4-worker serving-pool QPS dropped "
+              f"more than {qps_fail_pct:.0f}% below baseline:")
+        for r in hard_failures:
+            print(f"  {r}")
     if regressions:
-        print(f"bench_diff: {len(regressions)} cell(s) slower than "
+        print(f"bench_diff: {len(regressions)} cell(s) worse than "
               f"baseline by >{warn_pct:.0f}%:")
         for r in regressions:
             print(f"  {r}")
+    if hard_failures:
+        return 2
+    if regressions:
         return 1
     print("bench_diff: no regressions beyond threshold")
     return 0

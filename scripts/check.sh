@@ -54,6 +54,14 @@ XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chaos \
 # is a no-op on a clean journal and idempotent on a dirty one.
 run cargo test -q $NET --test chaos xa_
 
+# Serving-pool concurrency gate: the canonical shard-lock-order
+# regression (two workers submitting overlapping table sets in
+# opposite declaration order), the 4-worker mixed read/write/XA soak
+# under a fault plan (timeouts + breaker trip + coordinator crash,
+# with post-recovery atomicity and monotonic table versions), and the
+# pooled-vs-sequential read-equivalence property.
+run cargo test -q $NET --test chaos serve_
+
 # Lints. Clippy may be absent in minimal toolchains; warn, don't fail.
 # Note: the optimizer-layer modules (xqeval/engine.rs, aldsp/rel.rs,
 # aldsp/introspect.rs) carry in-source `#![deny(clippy::unwrap_used)]`,
@@ -77,18 +85,28 @@ if [ "$QUICK" -eq 0 ]; then
     cargo test -q $NET --release --test chaos xa_journal_overhead_guard -- --ignored \
         || echo "==> xa journal overhead guard exceeded its 5% budget (warning only)" >&2
 
-    # Bench-regression tripwire: run the quick experiment table,
-    # compare against the checked-in BENCH_E*.json baselines, and WARN
-    # (not fail — quick mode on shared hardware is noisy) when any
-    # *_ms column regresses by more than 25 %.
+    # Bench-regression tripwire: run the quick experiment table
+    # (including E14, the serving-pool throughput curve), compare
+    # against the checked-in BENCH_E*.json baselines. Timing-column
+    # regressions beyond 25 % WARN (quick mode on shared hardware is
+    # noisy); a >15 % QPS drop on the E14 pool-4 row is a HARD FAIL —
+    # that is the whole point of this PR and it must not quietly rot.
     BENCH_TMP=$(mktemp -d)
     trap 'rm -rf "$BENCH_TMP"' EXIT
     echo "==> exptab quick --json --out $BENCH_TMP"
     cargo run -q $NET --release -p xqse-bench --bin exptab -- \
         quick --json --out "$BENCH_TMP"
     if command -v python3 >/dev/null 2>&1; then
-        python3 scripts/bench_diff.py "$BENCH_TMP" . --warn-pct 25 \
-            || echo "==> bench baseline check reported regressions (warning only)" >&2
+        set +e
+        python3 scripts/bench_diff.py "$BENCH_TMP" . --warn-pct 25 --qps-fail-pct 15
+        BENCH_RC=$?
+        set -e
+        if [ "$BENCH_RC" -eq 2 ]; then
+            echo "==> 4-worker serving-pool QPS regressed beyond the 15% tripwire" >&2
+            exit 1
+        elif [ "$BENCH_RC" -ne 0 ]; then
+            echo "==> bench baseline check reported regressions (warning only)" >&2
+        fi
     else
         echo "==> python3 unavailable; skipping bench baseline diff" >&2
     fi

@@ -4,6 +4,7 @@
 //!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--no-batch] [--doc URI=FILE]...
 //!   echo '{ return value 1 + 1; }' | xqsh -
 //!   xqsh --repl < lines.xqse
+//!   xqsh --serve-bench N [--requests R] [--delay-us D] [--explain]
 //!
 //! Runs the module (expression or block body) and prints the
 //! serialized result. `--trace` also prints `fn:trace` output;
@@ -21,27 +22,37 @@
 //! as its own program against one shared engine and context. Repeated
 //! lines hit the engine's prepared-plan cache instead of re-parsing —
 //! `--explain` after a repeated line shows `plan cache hits` climbing.
+//!
+//! `--serve-bench N` starts the concurrent serving layer
+//! (`aldsp::pool::ServePool`) with N workers over the demo dataspace
+//! and replays a closed-loop read workload (`getProfileById` over
+//! distinct customers, each call paying `--delay-us` microseconds of
+//! simulated web-service latency), printing queries/sec. Under the
+//! pool, `--explain` prints the **aggregated** per-worker counters as
+//! one totals line. The env kill switch `XQSE_SERVE_WORKERS`
+//! overrides N (EXPERIMENTS.md E14 uses `XQSE_SERVE_WORKERS=1` to
+//! reproduce single-threaded numbers).
 
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
 use std::rc::Rc;
 
-use xqeval::{Engine, Env};
+use xqeval::{Engine, Env, OptStats};
 use xqse::xqueryp::XqueryP;
 use xqse::Xqse;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xqsh <file.xqse | - | --repl> [--trace] [--xqueryp] [--explain] \
-         [--no-opt] [--no-batch] [--doc URI=FILE]..."
+         [--no-opt] [--no-batch] [--doc URI=FILE]...\n       \
+         xqsh --serve-bench N [--requests R] [--delay-us D] [--explain]"
     );
     ExitCode::from(2)
 }
 
-fn print_explain(engine: &Engine) {
-    let s = engine.opt_stats();
-    eprintln!("explain: optimize = {}", engine.optimize_enabled());
-    eprintln!("explain: batch    = {}", engine.batch_enabled());
+fn print_explain_stats(s: &OptStats, optimize: bool, batch: bool) {
+    eprintln!("explain: optimize = {optimize}");
+    eprintln!("explain: batch    = {batch}");
     eprintln!(
         "explain: join cache     hits={} misses={} invalidations={}",
         s.join_hits, s.join_misses, s.join_invalidations
@@ -73,6 +84,78 @@ fn print_explain(engine: &Engine) {
     );
 }
 
+fn print_explain(engine: &Engine) {
+    print_explain_stats(
+        &engine.opt_stats(),
+        engine.optimize_enabled(),
+        engine.batch_enabled(),
+    );
+}
+
+/// The `--serve-bench` mode: the E14 closed-loop throughput driver.
+fn serve_bench(workers: usize, requests: usize, delay_us: u64, explain: bool) -> ExitCode {
+    use aldsp::demo;
+    use aldsp::pool::{drive_closed_loop, ServeArg, ServePool, ServeRequest, ServeSpec};
+    use aldsp::ws::WebService;
+
+    // One distinct customer per request so the per-worker response
+    // caches cannot swallow the simulated wire latency.
+    let demo = match demo::build(requests, 1, 1) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xqsh: serve-bench fixture failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (db1, db2) = (demo.db1.clone(), demo.db2.clone());
+    let pool = ServePool::start(ServeSpec::new(workers), move |_worker| {
+        demo::assemble(
+            &db1,
+            &db2,
+            WebService::credit_rating_delayed(demo::CREDIT_TYPES_NS, delay_us),
+        )
+    });
+    let reqs: Vec<ServeRequest> = (0..requests)
+        .map(|i| ServeRequest::Get {
+            service: "CustomerProfile".to_string(),
+            method: "getProfileById".to_string(),
+            args: vec![ServeArg::Str((i + 1).to_string())],
+        })
+        .collect();
+    let clients = pool.workers() * 2;
+    let (replies, elapsed) = drive_closed_loop(&pool, &reqs, clients);
+    let errors = replies.iter().filter(|r| r.result.is_err()).count();
+    let report = pool.shutdown();
+    let qps = replies.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "serve-bench: workers={} clients={} requests={} errors={} elapsed_ms={:.1} qps={:.1}",
+        report.workers,
+        clients,
+        replies.len(),
+        errors,
+        elapsed.as_secs_f64() * 1e3,
+        qps
+    );
+    for (i, err) in report.init_errors.iter().enumerate() {
+        if let Some(err) = err {
+            eprintln!("xqsh: worker {i} failed to initialize: {err}");
+        }
+    }
+    if let Some(e) = replies.iter().find_map(|r| r.result.as_ref().err()) {
+        eprintln!("xqsh: first request error: {e}");
+    }
+    if explain {
+        // Aggregated per-worker counters, one totals line (the pool
+        // always runs with the default optimize/batch settings).
+        print_explain_stats(&report.stats, true, true);
+    }
+    if errors > 0 || report.init_errors.iter().any(Option::is_some) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut source_arg: Option<String> = None;
@@ -82,6 +165,9 @@ fn main() -> ExitCode {
     let mut no_opt = false;
     let mut no_batch = false;
     let mut repl = false;
+    let mut serve_workers: Option<usize> = None;
+    let mut serve_requests: usize = 64;
+    let mut serve_delay_us: u64 = 2000;
     let mut docs: Vec<(String, String)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -92,6 +178,18 @@ fn main() -> ExitCode {
             "--no-opt" => no_opt = true,
             "--no-batch" => no_batch = true,
             "--repl" => repl = true,
+            "--serve-bench" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => serve_workers = Some(n),
+                _ => return usage(),
+            },
+            "--requests" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => serve_requests = n,
+                _ => return usage(),
+            },
+            "--delay-us" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => serve_delay_us = n,
+                _ => return usage(),
+            },
             "--doc" => match it.next().and_then(|d| {
                 d.split_once('=').map(|(u, f)| (u.to_string(), f.to_string()))
             }) {
@@ -102,6 +200,12 @@ fn main() -> ExitCode {
             other if source_arg.is_none() => source_arg = Some(other.to_string()),
             _ => return usage(),
         }
+    }
+    if let Some(workers) = serve_workers {
+        if source_arg.is_some() || repl || sequential {
+            return usage();
+        }
+        return serve_bench(workers, serve_requests, serve_delay_us, explain);
     }
     if repl && (source_arg.is_some() || sequential) {
         return usage();

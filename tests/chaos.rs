@@ -1346,3 +1346,302 @@ mod xa_recovery {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Serving pool: concurrency chaos (PR 7)
+// ---------------------------------------------------------------------------
+
+mod serve {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::*;
+    use xqse_repro::aldsp::pool::{drive_closed_loop, ServeArg, ServePool, ServeRequest, ServeSpec};
+    use xqse_repro::aldsp::{Injected, WebService};
+
+    fn one_col_schema(name: &str) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            columns: vec![Column::required("ID", ColumnType::Integer)],
+            primary_key: vec!["ID".into()],
+            foreign_keys: vec![],
+        }
+    }
+
+    /// Regression test for the canonical shard-lock order: two workers
+    /// hammer 2PC transactions over the *same pair* of tables, one
+    /// declaring its writes `[BETA, ALPHA]` and the other `[ALPHA,
+    /// BETA]`. If prepare/commit locked table shards in declaration
+    /// order this deadlocks within a few iterations; with the
+    /// canonical sorted-name order it must always finish. A watchdog
+    /// turns a deadlock into a failure instead of a hang.
+    #[test]
+    fn serve_lock_order_opposite_submit_order_no_deadlock() {
+        const ITERS: i64 = 150;
+        let db = Database::new("lk");
+        db.create_table(one_col_schema("ALPHA")).unwrap();
+        db.create_table(one_col_schema("BETA")).unwrap();
+
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<usize>();
+        for worker in 0..2usize {
+            let db = db.clone();
+            let done_tx = done_tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let id = worker as i64 * 10_000 + i;
+                    let ins = |table: &str| WriteOp::Insert {
+                        table: table.into(),
+                        row: vec![SqlValue::Int(id)],
+                    };
+                    let mut ops = vec![ins("ALPHA"), ins("BETA")];
+                    if worker == 1 {
+                        ops.reverse();
+                    }
+                    let coord = TwoPhaseCoordinator::new(vec![(db.clone(), ops)]);
+                    assert!(matches!(coord.run(), TxOutcome::Committed));
+                }
+                done_tx.send(worker).unwrap();
+            });
+        }
+        drop(done_tx);
+        for _ in 0..2 {
+            done_rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("deadlock: opposite-declaration-order 2PC never finished");
+        }
+        assert_eq!(db.row_count("ALPHA").unwrap(), 2 * ITERS as usize);
+        assert_eq!(db.row_count("BETA").unwrap(), 2 * ITERS as usize);
+    }
+
+    fn get_req(cid: usize) -> ServeRequest {
+        ServeRequest::Get {
+            service: "CustomerProfile".into(),
+            method: "getProfileById".into(),
+            args: vec![ServeArg::Str(cid.to_string())],
+        }
+    }
+
+    fn submit_req(cid: usize, sets: Vec<(usize, Vec<String>, String)>) -> ServeRequest {
+        ServeRequest::Submit {
+            service: "CustomerProfile".into(),
+            method: "getProfileById".into(),
+            args: vec![ServeArg::Str(cid.to_string())],
+            sets,
+        }
+    }
+
+    fn xa_sets(marker: &str) -> Vec<(usize, Vec<String>, String)> {
+        vec![
+            (0, vec!["LAST_NAME".into()], marker.to_string()),
+            (
+                0,
+                vec!["CreditCards".into(), "CREDIT_CARD".into(), "BRAND".into()],
+                marker.to_string(),
+            ),
+        ]
+    }
+
+    /// The concurrency soak: 4 workers serve a mixed read / write / XA
+    /// workload while a fault plan injects source timeouts, trips the
+    /// web-service breaker, and crashes the 2PC coordinator once at
+    /// the decision point. Invariants checked:
+    ///
+    /// * per-table version counters stay monotonic under concurrency
+    ///   (sampled continuously from a side thread),
+    /// * injected faults record *which worker* hit them,
+    /// * the breaker actually tripped (a `Closed -> Open` transition),
+    /// * after recovery every XA marker is in **both** sources or in
+    ///   neither, the journal is clean, and a second recovery pass is
+    ///   a no-op.
+    #[test]
+    fn serve_soak_mixed_workload_under_faults() {
+        const CUSTOMERS: usize = 12;
+        let d = demo::build(CUSTOMERS, 1, 1).unwrap();
+        let injector = d.space.install_fault_injector(FaultInjector::new(
+            FaultPlan::new()
+                .rule(FaultRule::new("db1", Op::Execute, FaultKind::Timeout).times(2))
+                .rule(FaultRule::new("CreditRating", Op::Call, FaultKind::Transient).times(5))
+                .rule(FaultRule::new("coordinator", Op::XaDecide, FaultKind::CrashPoint)),
+        ));
+        let resilience = d.space.install_resilience(Resilience::new(Policy {
+            max_retries: 2,
+            base_backoff_ms: 10,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 10,
+            half_open_successes: 1,
+            ..Policy::default()
+        }));
+        let access = d.space.access();
+        let journal = d.space.journal();
+        let (db1, db2) = (d.db1.clone(), d.db2.clone());
+
+        // Version monotonicity sampler: reads the live per-table
+        // version counters while the pool is serving. table_version()
+        // bypasses Access, so sampling is invisible to the fault plan.
+        let done = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let (db1, db2, done) = (db1.clone(), db2.clone(), done.clone());
+            std::thread::spawn(move || {
+                let (mut v1, mut v2) = (0u64, 0u64);
+                while !done.load(Ordering::Relaxed) {
+                    let n1 = db1.table_version("CUSTOMER").unwrap();
+                    let n2 = db2.table_version("CREDIT_CARD").unwrap();
+                    assert!(n1 >= v1, "CUSTOMER version went backwards: {v1} -> {n1}");
+                    assert!(n2 >= v2, "CREDIT_CARD version went backwards: {v2} -> {n2}");
+                    (v1, v2) = (n1, n2);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+
+        let pool = {
+            let (db1, db2) = (db1.clone(), db2.clone());
+            let (access, journal) = (access.clone(), journal.clone());
+            ServePool::start(ServeSpec::new(4), move |_worker| {
+                let space =
+                    demo::assemble(&db1, &db2, WebService::credit_rating(demo::CREDIT_TYPES_NS))?;
+                space.install_access(access.clone());
+                space.set_journal(journal.clone());
+                Ok(space)
+            })
+        };
+
+        // Mixed workload. Cids are disjoint per phase so concurrent
+        // submits never contend on a row: single-source writes touch
+        // 1..=4, XA (two-source) submits touch 7..=10.
+        let mut reqs: Vec<ServeRequest> = Vec::new();
+        reqs.extend((1..=CUSTOMERS).map(get_req)); // warm every worker
+        reqs.extend(
+            (1..=4).map(|c| submit_req(c, vec![(0, vec!["FIRST_NAME".into()], format!("W-{c}"))])),
+        );
+        reqs.extend((1..=8).map(get_req));
+        reqs.extend((7..=10).map(|c| submit_req(c, xa_sets(&format!("XA-{c}")))));
+        reqs.extend((5..=10).map(get_req));
+
+        let (replies, _elapsed) = drive_closed_loop(&pool, &reqs, 8);
+        let report = pool.shutdown();
+        done.store(true, Ordering::Relaxed);
+        sampler.join().expect("version sampler observed a regression");
+
+        assert!(report.init_errors.iter().all(Option::is_none), "{:?}", report.init_errors);
+        assert_eq!(report.served.iter().sum::<u64>() as usize, reqs.len());
+        let oks = replies.iter().filter(|r| r.result.is_ok()).count();
+        assert!(oks >= reqs.len() / 2, "only {oks}/{} requests survived the fault plan", reqs.len());
+
+        // Fault events carry the serving worker's identity.
+        let events = injector.lock().events().to_vec();
+        assert!(!events.is_empty(), "fault plan never fired");
+        assert!(
+            events.iter().any(|e| e.worker.is_some()),
+            "no event recorded a pool worker id: {events:?}"
+        );
+        assert!(events.iter().any(|e| e.source == "db1"), "db1 write timeouts never fired");
+
+        // The web-service breaker tripped at least once.
+        assert!(
+            resilience
+                .lock()
+                .transitions()
+                .iter()
+                .any(|t| t.source == "CreditRating"
+                    && t.from == BreakerState::Closed
+                    && t.to == BreakerState::Open),
+            "CreditRating breaker never opened: {:?}",
+            resilience.lock().transitions()
+        );
+
+        // The coordinator crash: normally one of the pooled XA submits
+        // hits it. If the chaos happened to fail every pooled XA
+        // submit *before* the decision point, drive one from here so
+        // the recovery half of the test stays meaningful — the
+        // CrashPoint budget is still armed in the shared injector.
+        let crashed_in_pool =
+            events.iter().any(|e| matches!(e.injected, Injected::Crash));
+        if !crashed_in_pool {
+            let g = d
+                .space
+                .get("CustomerProfile", "getProfileById", vec![Sequence::one(Item::string("7"))])
+                .unwrap();
+            g.set_value(0, &["LAST_NAME"], "XA-7").unwrap();
+            g.set_value(0, &["CreditCards", "CREDIT_CARD", "BRAND"], "XA-7").unwrap();
+            let err = d.space.submit(&g).unwrap_err();
+            assert_eq!(AldspCode::of(&err), Some(AldspCode::XaCoordCrash));
+        }
+        assert!(!journal.is_clean(), "coordinator crash left no in-flight journal entry");
+
+        // Recovery from a *fresh* coordinator over the shared journal,
+        // exactly as a restarted middle tier would run it.
+        let space2 =
+            demo::assemble(&db1, &db2, WebService::credit_rating(demo::CREDIT_TYPES_NS)).unwrap();
+        space2.set_journal(journal.clone());
+        let stats = space2.recover().unwrap();
+        assert!(
+            stats.rolled_forward + stats.rolled_back >= 1,
+            "recovery resolved nothing: {stats:?}"
+        );
+        assert!(journal.is_clean(), "journal still dirty after recovery");
+
+        // Post-recovery atomicity: each XA marker is in both sources
+        // or in neither.
+        for cid in 7..=10 {
+            let marker = format!("XA-{cid}");
+            let cond = vec![("CID".to_string(), SqlValue::Int(cid as i64))];
+            let cust = db1.select("CUSTOMER", &cond).unwrap();
+            let card = db2.select("CREDIT_CARD", &cond).unwrap();
+            let in_db1 = cust.iter().any(|r| r[2] == SqlValue::Str(marker.clone()));
+            let in_db2 = card.iter().any(|r| r[3] == SqlValue::Str(marker.clone()));
+            assert_eq!(
+                in_db1, in_db2,
+                "XA marker {marker} applied to one source only (db1={in_db1} db2={in_db2})"
+            );
+        }
+
+        // Recovery is idempotent.
+        let again = space2.recover().unwrap();
+        assert_eq!((again.rolled_forward, again.rolled_back, again.in_doubt_found), (0, 0, 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// For read-only workloads the pool is semantically invisible:
+        /// N workers over shard-locked shared sources return
+        /// byte-identical results to the single-threaded engine, for
+        /// any request mix and any worker count.
+        #[test]
+        fn serve_read_only_results_match_sequential(
+            cids in proptest::collection::vec(1usize..=6, 1..10),
+            workers in 1usize..=3,
+        ) {
+            let d = demo::build(6, 1, 1).unwrap();
+            let expected: Vec<String> = cids
+                .iter()
+                .map(|cid| {
+                    let g = d
+                        .space
+                        .get(
+                            "CustomerProfile",
+                            "getProfileById",
+                            vec![Sequence::one(Item::string(cid.to_string()))],
+                        )
+                        .unwrap();
+                    xqse_repro::xmlparse::serialize_sequence(g.instances())
+                })
+                .collect();
+
+            let (db1, db2) = (d.db1.clone(), d.db2.clone());
+            let pool = ServePool::start(ServeSpec::new(workers), move |_| {
+                demo::assemble(&db1, &db2, WebService::credit_rating(demo::CREDIT_TYPES_NS))
+            });
+            let reqs: Vec<ServeRequest> = cids.iter().copied().map(get_req).collect();
+            let (replies, _) = drive_closed_loop(&pool, &reqs, 2);
+            pool.shutdown();
+
+            for (reply, want) in replies.iter().zip(&expected) {
+                let got = reply.result.as_ref().expect("pooled read failed");
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -88,8 +88,8 @@ fn doc_registration_resolves_fn_doc() {
 
 #[test]
 fn runs_the_shipped_example_scripts() {
-    let root = env!("CARGO_MANIFEST_DIR"); // crates/core
-    let scripts = std::path::Path::new(root).join("../../examples/scripts");
+    let root = env!("CARGO_MANIFEST_DIR"); // repo root (the package that owns the bin)
+    let scripts = std::path::Path::new(root).join("examples/scripts");
     let run_file = |name: &str| {
         let out = xqsh()
             .arg(scripts.join(name))
