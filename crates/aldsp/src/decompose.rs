@@ -365,9 +365,13 @@ pub fn execute(space: &DataSpace, plan: DecompositionPlan) -> XdmResult<()> {
             // — it is an infrastructure fault by construction, and
             // unlike an abort there is nothing tidy to report: sources
             // are divergent until `DataSpace::recover()` runs.
-            let injector = space.access().injector.clone();
+            let access = space.access();
+            let injector = access.injector.clone();
+            // The virtual clock rides along so Stall rules at protocol
+            // points burn the request's deadline deterministically.
+            let clock = access.resilience.as_ref().map(|r| r.lock().clock());
             match TwoPhaseCoordinator::new(participants)
-                .run_journaled(&space.journal(), injector.as_ref())?
+                .run_journaled(&space.journal(), injector.as_ref(), clock.as_ref())?
             {
                 TxOutcome::Committed => Ok(()),
                 // Infrastructure faults (aldsp:SRC_*, aldsp:TX_ABORTED)

@@ -73,6 +73,26 @@ pub enum AldspCode {
     /// idempotent branch operations cannot absorb (e.g. prepared state
     /// vanished while writes were still pending). Not retryable.
     XaReplayFailed,
+    /// The request's wall-clock deadline expired mid-evaluation. The
+    /// work was cancelled cooperatively; any in-flight transaction was
+    /// rolled back. Not retryable — the client already gave up.
+    DeadlineExceeded,
+    /// The request exhausted its evaluation-fuel allowance (a step
+    /// budget catching runaway XQSE loops). Not retryable: the same
+    /// program burns the same fuel.
+    FuelExhausted,
+    /// The request exceeded its XDM allocation ceiling while
+    /// constructing results. Not retryable.
+    MemoryLimit,
+    /// The serving pool shed the request at admission: the queue was
+    /// full, or queue wait had already consumed the deadline. The
+    /// request was never dispatched — no work was started, nothing to
+    /// roll back. Not retryable *by the resilience layer* (a client may
+    /// retry after backoff, but the pool won't).
+    Overloaded,
+    /// The request was cancelled explicitly (client disconnect, admin
+    /// kill). Cooperative, like a deadline. Not retryable.
+    Cancelled,
 }
 
 impl AldspCode {
@@ -89,6 +109,11 @@ impl AldspCode {
             AldspCode::XaInDoubt => "XA_IN_DOUBT",
             AldspCode::XaJournalCorrupt => "XA_JOURNAL_CORRUPT",
             AldspCode::XaReplayFailed => "XA_REPLAY_FAILED",
+            AldspCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            AldspCode::FuelExhausted => "FUEL_EXHAUSTED",
+            AldspCode::MemoryLimit => "MEMORY_LIMIT",
+            AldspCode::Overloaded => "OVERLOADED",
+            AldspCode::Cancelled => "CANCELLED",
         }
     }
 
@@ -127,6 +152,11 @@ impl AldspCode {
             "XA_IN_DOUBT" => Some(AldspCode::XaInDoubt),
             "XA_JOURNAL_CORRUPT" => Some(AldspCode::XaJournalCorrupt),
             "XA_REPLAY_FAILED" => Some(AldspCode::XaReplayFailed),
+            "DEADLINE_EXCEEDED" => Some(AldspCode::DeadlineExceeded),
+            "FUEL_EXHAUSTED" => Some(AldspCode::FuelExhausted),
+            "MEMORY_LIMIT" => Some(AldspCode::MemoryLimit),
+            "OVERLOADED" => Some(AldspCode::Overloaded),
+            "CANCELLED" => Some(AldspCode::Cancelled),
         _ => None,
         }
     }
@@ -161,6 +191,11 @@ mod taxonomy_tests {
             AldspCode::XaInDoubt,
             AldspCode::XaJournalCorrupt,
             AldspCode::XaReplayFailed,
+            AldspCode::DeadlineExceeded,
+            AldspCode::FuelExhausted,
+            AldspCode::MemoryLimit,
+            AldspCode::Overloaded,
+            AldspCode::Cancelled,
         ] {
             let q = code.qname();
             assert_eq!(q.ns.as_deref(), Some(ALDSP_ERR_NS));
@@ -183,6 +218,34 @@ mod taxonomy_tests {
         assert!(!AldspCode::XaInDoubt.retryable());
         assert!(!AldspCode::XaJournalCorrupt.retryable());
         assert!(!AldspCode::XaReplayFailed.retryable());
+        assert!(!AldspCode::DeadlineExceeded.retryable());
+        assert!(!AldspCode::FuelExhausted.retryable());
+        assert!(!AldspCode::MemoryLimit.retryable());
+        assert!(!AldspCode::Overloaded.retryable());
+        assert!(!AldspCode::Cancelled.retryable());
+    }
+
+    /// The evaluator-side budget module hardcodes the namespace (it
+    /// cannot depend on this crate); the two constants must never
+    /// drift apart, or budget errors would stop matching `aldsp:*`
+    /// catch clauses.
+    #[test]
+    fn budget_errors_share_the_aldsp_namespace() {
+        assert_eq!(xqeval::budget::ALDSP_ERR_NS, ALDSP_ERR_NS);
+        for why in [
+            xqeval::BudgetExceeded::Deadline,
+            xqeval::BudgetExceeded::Fuel,
+            xqeval::BudgetExceeded::Memory,
+            xqeval::BudgetExceeded::Cancelled,
+        ] {
+            let e = why.error("x");
+            assert!(
+                AldspCode::of(&e).is_some(),
+                "budget error {:?} must map into the taxonomy",
+                why
+            );
+            assert!(!is_retryable(&e));
+        }
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub enum FaultKind {
     /// Defaults to a budget of **1** (a process crashes once), so a
     /// later `DataSpace::recover()` / retried submit runs unimpeded.
     CrashPoint,
+    /// Succeed, but *stall* for the given number of virtual
+    /// milliseconds first: the clock advances and the request's budget
+    /// burns, but — unlike [`FaultKind::SlowResponse`] — the stall is
+    /// **never** compared against the policy timeout, so it cannot
+    /// surface as `aldsp:SRC_TIMEOUT`. The only observable consequence
+    /// is whatever the caller's *budget* says afterwards: this is the
+    /// primitive the cancel-at-every-protocol-point chaos matrix uses
+    /// to expire a deadline at an exact 2PC step.
+    Stall(u64),
 }
 
 /// One entry in a [`FaultPlan`].
@@ -214,6 +223,10 @@ pub enum Injected {
     /// coordinator's crash-check points honour this; ordinary source
     /// calls treat it like a permanent error.
     Crash,
+    /// Let the call proceed after this many virtual milliseconds of
+    /// latency that consume the request budget but are exempt from the
+    /// policy timeout (see [`FaultKind::Stall`]).
+    Stall(u64),
 }
 
 /// A record of one injected fault, for assertions and reporting.
@@ -357,6 +370,7 @@ impl FaultInjector {
                 ),
                 FaultKind::SlowResponse(ms) => Injected::Delay(ms),
                 FaultKind::CrashPoint => Injected::Crash,
+                FaultKind::Stall(ms) => Injected::Stall(ms),
             };
             self.push_event(FaultEvent {
                 source: source.to_string(),
@@ -502,6 +516,16 @@ mod fault_tests {
         assert!(inj.events().is_empty());
         assert_eq!(inj.dropped_events(), 1);
         assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn stall_is_a_stall_not_a_delay() {
+        let plan = FaultPlan::new()
+            .rule(FaultRule::new("coordinator", Op::XaDecide, FaultKind::Stall(500)).times(2));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_call("coordinator", Op::XaDecide), Some(Injected::Stall(500)));
+        assert_eq!(inj.on_call("coordinator", Op::XaDecide), Some(Injected::Stall(500)));
+        assert_eq!(inj.on_call("coordinator", Op::XaDecide), None, "times(2) respected");
     }
 
     #[test]

@@ -26,11 +26,30 @@
 //!   all, while each worker thread keeps its own lock-free cached
 //!   clone of the `Access` for the hot path.
 //!
+//! * **Request budgets and admission control.** The spec can attach a
+//!   per-request [`Budget`] (deadline / fuel / memory); the pool
+//!   stamps the deadline at *admission*, so time spent queued counts
+//!   against it. [`ServePool::offer`] is the overload-facing entry:
+//!   a full queue sheds instantly with `aldsp:OVERLOADED` instead of
+//!   blocking, and a request whose deadline expired while queued is
+//!   shed at dispatch without running. Budget terminations
+//!   (`aldsp:DEADLINE_EXCEEDED` and friends) and sheds are counted in
+//!   the [`PoolReport`] and folded into the aggregated [`OptStats`].
+//! * **Panic containment.** `serve_one` runs under `catch_unwind`: a
+//!   panicking request answers its client with a typed
+//!   `aldsp:SRC_UNAVAILABLE` error instead of deadlocking every
+//!   client blocked on the dead worker's queue.
+//!
 //! The kill switch `XQSE_SERVE_WORKERS` overrides the requested
 //! worker count (e.g. `XQSE_SERVE_WORKERS=1` reproduces the
 //! single-threaded numbers; EXPERIMENTS.md E14 relies on this).
+//! `XQSE_DISABLE_BUDGETS=1` disables budget creation entirely.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -39,13 +58,14 @@ use xdm::error::{XdmError, XdmResult};
 use xdm::sequence::{Item, Sequence};
 
 use xqeval::context::Env;
-use xqeval::OptStats;
+use xqeval::{Budget, BudgetClock, OptStats};
 
+use crate::errors::AldspCode;
 use crate::fault;
 use crate::service::DataSpace;
 
 /// Configuration for a [`ServePool`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeSpec {
     /// Requested worker count (≥ 1). The `XQSE_SERVE_WORKERS`
     /// environment variable, when set to a positive integer,
@@ -55,12 +75,67 @@ pub struct ServeSpec {
     /// full (closed-loop back-pressure, like a server's accept
     /// backlog). `0` means "4 × workers".
     pub queue_capacity: usize,
+    /// Per-request wall-clock deadline in ms, stamped at admission
+    /// (queue wait counts). `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Per-request evaluation-fuel allowance. `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Per-request XDM allocation ceiling. `None` = unlimited.
+    pub memory: Option<u64>,
+    /// Clock deadlines are read against. `None` = real elapsed time
+    /// since pool start; chaos tests install the resilience layer's
+    /// virtual clock here for deterministic expiry.
+    pub clock: Option<BudgetClock>,
+}
+
+impl fmt::Debug for ServeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeSpec")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("deadline_ms", &self.deadline_ms)
+            .field("fuel", &self.fuel)
+            .field("memory", &self.memory)
+            .field("clock", &self.clock.as_ref().map(|_| "<custom>"))
+            .finish()
+    }
 }
 
 impl ServeSpec {
-    /// A spec with the default queue bound.
+    /// A spec with the default queue bound and no budgets.
     pub fn new(workers: usize) -> ServeSpec {
-        ServeSpec { workers, queue_capacity: 0 }
+        ServeSpec {
+            workers,
+            queue_capacity: 0,
+            deadline_ms: None,
+            fuel: None,
+            memory: None,
+            clock: None,
+        }
+    }
+
+    /// Give every request a wall-clock deadline (builder style).
+    pub fn with_deadline_ms(mut self, ms: u64) -> ServeSpec {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Give every request an evaluation-fuel allowance.
+    pub fn with_fuel(mut self, steps: u64) -> ServeSpec {
+        self.fuel = Some(steps);
+        self
+    }
+
+    /// Give every request an XDM allocation ceiling.
+    pub fn with_memory(mut self, units: u64) -> ServeSpec {
+        self.memory = Some(units);
+        self
+    }
+
+    /// Read deadlines off `clock` instead of real elapsed time.
+    pub fn with_clock(mut self, clock: BudgetClock) -> ServeSpec {
+        self.clock = Some(clock);
+        self
     }
 }
 
@@ -135,17 +210,48 @@ pub struct PoolReport {
     /// Requests served per worker (indexed by worker).
     pub served: Vec<u64>,
     /// Sum of every worker's optimizer/plan/ws counters — the totals
-    /// line `xqsh --explain` prints under the pool.
+    /// line `xqsh --explain` prints under the pool. Pool-level sheds
+    /// and budget cancellations are folded into its `budget_*`
+    /// fields.
     pub stats: OptStats,
     /// Builder failures, by worker (a failed worker answers every
     /// request it dequeues with the error instead of crashing the
     /// pool).
     pub init_errors: Vec<Option<String>>,
+    /// Requests presented to the pool ([`ServePool::call`] +
+    /// [`ServePool::offer`]). Always
+    /// `completed + shed + cancelled`.
+    pub offered: u64,
+    /// Requests that ran to completion — success or an ordinary
+    /// (non-budget) error.
+    pub completed: u64,
+    /// Requests refused without running: queue full at [`offer`]
+    /// time, pool shut down, or deadline already consumed by queue
+    /// wait at dispatch.
+    ///
+    /// [`offer`]: ServePool::offer
+    pub shed: u64,
+    /// Requests that started but were terminated by their budget
+    /// (deadline, fuel, memory, or explicit cancel).
+    pub cancelled: u64,
+}
+
+/// Shared admission/outcome counters (atomic: clients bump `offered`
+/// and `shed`, workers bump the rest).
+#[derive(Default)]
+struct PoolCounters {
+    offered: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 struct Job {
     request: ServeRequest,
     reply: Arc<ReplySlot>,
+    /// The request's budget, stamped at admission; `None` when the
+    /// spec sets no limits (or budgets are disabled).
+    budget: Option<Arc<Budget>>,
 }
 
 #[derive(Default)]
@@ -186,6 +292,14 @@ struct QueueInner {
     closed: bool,
 }
 
+/// Why [`Queue::try_push`] refused a job.
+enum Refused {
+    /// The queue is at capacity — the pool is overloaded.
+    Full,
+    /// The pool is shutting down.
+    Closed,
+}
+
 /// Bounded MPMC queue on std `Mutex`/`Condvar`: producers block when
 /// full, workers block when empty, `close` wakes everyone for a
 /// drain-then-exit shutdown.
@@ -224,6 +338,22 @@ impl Queue {
                 Err(_) => return false,
             };
         }
+    }
+
+    /// Non-blocking enqueue: refuse instead of waiting when the queue
+    /// is full. Admission control for the overload path — the caller
+    /// turns a refusal into an immediate `aldsp:OVERLOADED` reply.
+    fn try_push(&self, job: Job) -> Result<(), Refused> {
+        let Ok(mut inner) = self.inner.lock() else { return Err(Refused::Closed) };
+        if inner.closed {
+            return Err(Refused::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(Refused::Full);
+        }
+        inner.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Dequeue, blocking while empty. `None` means closed **and**
@@ -272,6 +402,14 @@ pub struct ServePool {
     queue: Arc<Queue>,
     handles: Vec<JoinHandle<WorkerExit>>,
     workers: usize,
+    /// Budget knobs copied from the spec.
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+    memory: Option<u64>,
+    /// Clock request deadlines read from (spec override, or real
+    /// elapsed ms since pool start).
+    clock: BudgetClock,
+    counters: Arc<PoolCounters>,
 }
 
 /// Effective worker count: the `XQSE_SERVE_WORKERS` kill switch wins
@@ -300,6 +438,11 @@ impl ServePool {
         };
         let queue = Arc::new(Queue::new(capacity));
         let builder = Arc::new(builder);
+        let counters = Arc::new(PoolCounters::default());
+        let clock = spec.clock.clone().unwrap_or_else(|| {
+            let t0 = std::time::Instant::now();
+            Arc::new(move || t0.elapsed().as_millis() as u64)
+        });
         // No worker serves before every worker has finished building:
         // builders write the shared sources' access slots, and a
         // half-initialized pool must not serve requests with faults or
@@ -310,12 +453,45 @@ impl ServePool {
                 let queue = queue.clone();
                 let builder = builder.clone();
                 let barrier = barrier.clone();
+                let counters = counters.clone();
                 std::thread::spawn(move || {
-                    worker_loop(i, &queue, builder.as_ref(), &barrier)
+                    worker_loop(i, &queue, builder.as_ref(), &barrier, &counters)
                 })
             })
             .collect();
-        ServePool { queue, handles, workers }
+        ServePool {
+            queue,
+            handles,
+            workers,
+            deadline_ms: spec.deadline_ms,
+            fuel: spec.fuel,
+            memory: spec.memory,
+            clock,
+            counters,
+        }
+    }
+
+    /// Build the budget for one admitted request: the deadline is
+    /// stamped *now*, so queue wait counts against it. `None` when the
+    /// spec sets no limits or `XQSE_DISABLE_BUDGETS=1`.
+    fn make_budget(&self) -> Option<Arc<Budget>> {
+        if !xqeval::budget::budgets_enabled() {
+            return None;
+        }
+        if self.deadline_ms.is_none() && self.fuel.is_none() && self.memory.is_none() {
+            return None;
+        }
+        let mut b = Budget::with_clock(self.clock.clone());
+        if let Some(ms) = self.deadline_ms {
+            b = b.deadline_in(ms);
+        }
+        if let Some(steps) = self.fuel {
+            b = b.limit_fuel(steps);
+        }
+        if let Some(units) = self.memory {
+            b = b.limit_memory(units);
+        }
+        Some(Arc::new(b))
     }
 
     /// Effective worker count (after the kill switch).
@@ -325,18 +501,45 @@ impl ServePool {
 
     /// Serve one request, blocking until a worker replies (the
     /// closed-loop client primitive: each client thread has at most
-    /// one request in flight).
+    /// one request in flight; a full queue applies back-pressure by
+    /// blocking the client, never by shedding).
     pub fn call(&self, request: ServeRequest) -> ServeReply {
+        self.counters.offered.fetch_add(1, Ordering::Relaxed);
         let reply = Arc::new(ReplySlot::default());
-        let job = Job { request, reply: reply.clone() };
+        let job = Job { request, reply: reply.clone(), budget: self.make_budget() };
         if !self.queue.push(job) {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
             return ServeReply {
                 worker: usize::MAX,
-                result: Err(crate::errors::AldspCode::SrcUnavailable
-                    .error("serve pool is shut down")),
+                result: Err(AldspCode::Overloaded.error("serve pool is shut down")),
             };
         }
         reply.wait()
+    }
+
+    /// Serve one request with *load-shedding admission*: when the
+    /// queue is full the request is refused immediately with
+    /// `aldsp:OVERLOADED` instead of blocking — the open-loop /
+    /// overload-facing entry point. Admitted requests block for their
+    /// reply exactly like [`ServePool::call`].
+    pub fn offer(&self, request: ServeRequest) -> ServeReply {
+        self.counters.offered.fetch_add(1, Ordering::Relaxed);
+        let reply = Arc::new(ReplySlot::default());
+        let job = Job { request, reply: reply.clone(), budget: self.make_budget() };
+        match self.queue.try_push(job) {
+            Ok(()) => reply.wait(),
+            Err(refused) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                let msg = match refused {
+                    Refused::Full => "request shed: serve queue is full",
+                    Refused::Closed => "serve pool is shut down",
+                };
+                ServeReply {
+                    worker: usize::MAX,
+                    result: Err(AldspCode::Overloaded.error(msg)),
+                }
+            }
+        }
     }
 
     /// Close the queue, let the workers drain it, join them, and
@@ -348,6 +551,10 @@ impl ServePool {
             served: Vec::with_capacity(self.handles.len()),
             stats: OptStats::default(),
             init_errors: Vec::with_capacity(self.handles.len()),
+            offered: self.counters.offered.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
         };
         for handle in self.handles {
             match handle.join() {
@@ -362,6 +569,12 @@ impl ServePool {
                 }
             }
         }
+        // Sheds are counted in the pool counter, never in any engine:
+        // queue-full sheds happen on client threads outside an engine,
+        // and dispatch-time sheds deliberately skip the engine counter.
+        // Fold the pool total into the aggregated stats so one
+        // `--explain` line covers the whole budget story.
+        report.stats.budget_shed += report.shed;
         report
     }
 }
@@ -371,6 +584,7 @@ fn worker_loop(
     queue: &Queue,
     builder: &(dyn Fn(usize) -> XdmResult<DataSpace> + Send + Sync),
     barrier: &std::sync::Barrier,
+    counters: &PoolCounters,
 ) -> WorkerExit {
     // Tag this thread so injected faults record which worker hit them.
     fault::set_current_worker(Some(idx));
@@ -379,9 +593,47 @@ fn worker_loop(
     barrier.wait();
     let mut served = 0u64;
     while let Some(job) = queue.pop() {
+        // Dispatch-time shed: if queue wait already consumed the
+        // deadline (or the client cancelled while queued), answer
+        // OVERLOADED without starting any work.
+        if let Some(b) = &job.budget {
+            if b.check().is_err() {
+                // Counted only in the pool counter; shutdown() folds
+                // `report.shed` into the aggregated stats, so bumping
+                // the engine counter here too would double-count.
+                counters.shed.fetch_add(1, Ordering::Relaxed);
+                job.reply.fill(ServeReply {
+                    worker: idx,
+                    result: Err(AldspCode::Overloaded.error(
+                        "request shed at dispatch: queue wait consumed the deadline",
+                    )),
+                });
+                continue;
+            }
+        }
         let result = match &space {
-            Ok(space) => serve_one(space, &job.request),
-            Err(e) => Err(e.clone()),
+            Ok(space) => {
+                // Budget creation is already gated on the kill switch;
+                // force_budget installs/clears unconditionally so the
+                // thread-local never leaks across requests even if the
+                // env changes mid-run.
+                space.engine().force_budget(job.budget.clone());
+                // Contain panics: a panicking request must answer its
+                // client, or every later client blocks forever on a
+                // worker that no longer exists.
+                let outcome = catch_unwind(AssertUnwindSafe(|| serve_one(space, &job.request)))
+                    .unwrap_or_else(|_| {
+                        Err(AldspCode::SrcUnavailable
+                            .error("serving worker panicked while evaluating the request"))
+                    });
+                space.engine().force_budget(None);
+                note_budget_outcome(space, counters, &outcome);
+                outcome
+            }
+            Err(e) => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                Err(e.clone())
+            }
         };
         served += 1;
         job.reply.fill(ServeReply { worker: idx, result });
@@ -391,6 +643,44 @@ fn worker_loop(
         Err(_) => OptStats::default(),
     };
     WorkerExit { served, stats, init_error }
+}
+
+/// Classify a served request's outcome: budget terminations bump the
+/// engine's per-dimension counters and the pool's `cancelled` bucket;
+/// everything else — success or ordinary error — is `completed`.
+fn note_budget_outcome(
+    space: &DataSpace,
+    counters: &PoolCounters,
+    outcome: &Result<String, XdmError>,
+) {
+    let budget_code = match outcome {
+        Err(e) => match crate::errors::AldspCode::of(e) {
+            Some(
+                code @ (AldspCode::DeadlineExceeded
+                | AldspCode::FuelExhausted
+                | AldspCode::MemoryLimit
+                | AldspCode::Cancelled),
+            ) => Some(code),
+            _ => None,
+        },
+        Ok(_) => None,
+    };
+    match budget_code {
+        Some(code) => {
+            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            let opt = space.engine().opt_counters();
+            let cell = match code {
+                AldspCode::DeadlineExceeded => &opt.budget_deadline,
+                AldspCode::FuelExhausted => &opt.budget_fuel,
+                AldspCode::MemoryLimit => &opt.budget_memory,
+                _ => &opt.budget_cancelled,
+            };
+            cell.set(cell.get() + 1);
+        }
+        None => {
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 fn serve_one(space: &DataSpace, request: &ServeRequest) -> Result<String, XdmError> {
@@ -439,6 +729,43 @@ pub fn drive_closed_loop(
                     break;
                 }
                 let reply = pool.call(requests[i].clone());
+                if let Ok(mut sink) = replies.lock() {
+                    sink.push((i, reply));
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut indexed = replies.into_inner().unwrap_or_default();
+    indexed.sort_by_key(|(i, _)| *i);
+    (indexed.into_iter().map(|(_, r)| r).collect(), elapsed)
+}
+
+/// The overload driver: like [`drive_closed_loop`] but each client
+/// submits through [`ServePool::offer`], so arrivals the pool cannot
+/// absorb are **shed instantly** with `aldsp:OVERLOADED` instead of
+/// back-pressuring the client. Running many more clients than workers
+/// approximates an open-loop arrival process at several multiples of
+/// the pool's capacity — the E15 overload experiment drives 4 workers
+/// with 4× the clients and asserts sheds fail fast while admitted
+/// goodput holds.
+pub fn drive_open_loop(
+    pool: &ServePool,
+    requests: &[ServeRequest],
+    clients: usize,
+) -> (Vec<ServeReply>, std::time::Duration) {
+    let clients = clients.max(1);
+    let started = std::time::Instant::now();
+    let replies: Mutex<Vec<(usize, ServeReply)>> = Mutex::new(Vec::new());
+    let next: AtomicU64 = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= requests.len() {
+                    break;
+                }
+                let reply = pool.offer(requests[i].clone());
                 if let Ok(mut sink) = replies.lock() {
                     sink.push((i, reply));
                 }

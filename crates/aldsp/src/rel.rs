@@ -1454,60 +1454,98 @@ impl TwoPhaseCoordinator {
     /// An ordinary prepare failure still aborts tidily (roll back the
     /// prepared branches, journal `Aborted`, return
     /// `Ok(TxOutcome::Aborted)`), matching [`TwoPhaseCoordinator::run`].
+    ///
+    /// **Budgets and cancellation.** At every *pre-decision* point
+    /// (after `Begin`, after each `Prepared`, and immediately before
+    /// the `CommitDecision` force-write) the coordinator consults the
+    /// thread-local request budget: an expired deadline or an external
+    /// cancel aborts tidily — prepared branches are rolled back, an
+    /// `Aborted` record is journaled, and the budget error rides out in
+    /// `Ok(TxOutcome::Aborted)`. Once the decision is journaled the
+    /// transaction is past the point of no return and commits to
+    /// completion regardless of the budget — a half-committed
+    /// transaction is worse than a late one. A `FaultKind::Stall` rule
+    /// at a protocol point advances `clock` before the budget is
+    /// consulted, which is how the chaos matrix expires a deadline at
+    /// an exact protocol step.
     pub fn run_journaled(
         self,
         journal: &crate::journal::CoordinatorJournal,
         injector: Option<&Arc<Mutex<crate::fault::FaultInjector>>>,
+        clock: Option<&crate::resilience::VirtualClock>,
     ) -> XdmResult<TxOutcome> {
         use crate::journal::XaRecord;
 
-        // Consult the injector at a protocol point. Only a Crash
-        // verdict matters here: error/delay kinds aimed at source ops
-        // are injected inside `Database::prepare` (via Access::run) as
-        // before, not at coordinator points.
-        let crash_check = |source: &str, op: Op| -> XdmResult<()> {
-            let crashed = injector.is_some_and(|inj| {
-                matches!(inj.lock().on_call(source, op), Some(crate::fault::Injected::Crash))
-            });
-            if crashed {
-                Err(crate::errors::AldspCode::XaCoordCrash
-                    .error(format!("coordinator crashed at {op} ({source})")))
-            } else {
-                Ok(())
+        // Consult the injector at a protocol point. Crash verdicts
+        // unwind with no cleanup; Stall verdicts advance the virtual
+        // clock (burning the request's deadline) and continue.
+        // Error/delay kinds aimed at source ops are injected inside
+        // `Database::prepare` (via Access::run) as before, not at
+        // coordinator points.
+        let point_check = |source: &str, op: Op| -> XdmResult<()> {
+            match injector.and_then(|inj| inj.lock().on_call(source, op)) {
+                Some(crate::fault::Injected::Crash) => {
+                    Err(crate::errors::AldspCode::XaCoordCrash
+                        .error(format!("coordinator crashed at {op} ({source})")))
+                }
+                Some(crate::fault::Injected::Stall(ms)) => {
+                    if let Some(c) = clock {
+                        c.advance(ms);
+                    }
+                    Ok(())
+                }
+                _ => Ok(()),
             }
         };
+        // The budget verdict at a pre-decision point, if any.
+        let budget_err = || xqeval::budget::current_budget().and_then(|b| b.check().err());
 
         let tx = fresh_tx();
         let xid = tx.0;
         let branches: Vec<String> =
             self.participants.iter().map(|(db, _)| db.name.clone()).collect();
+        // Tidy pre-decision abort: release every prepared branch and
+        // journal the decision so recovery has nothing to presume.
+        let abort_with = |prepared: &[&Database], e: XdmError| -> XdmResult<TxOutcome> {
+            for p in prepared {
+                p.rollback_branch(tx);
+            }
+            journal.append(XaRecord::Aborted { xid })?;
+            Ok(TxOutcome::Aborted(e))
+        };
+
         journal.append(XaRecord::Begin { xid, branches })?;
-        crash_check("coordinator", Op::XaBegin)?;
+        point_check("coordinator", Op::XaBegin)?;
+        if let Some(e) = budget_err() {
+            return abort_with(&[], e);
+        }
 
         // Phase 1: prepare every branch, journaling each yes-vote.
         let mut prepared: Vec<&Database> = Vec::new();
         for (db, ops) in &self.participants {
             match db.prepare(tx, ops.clone()) {
                 Ok(()) => prepared.push(db),
-                Err(e) => {
-                    // A no-vote is not a crash: abort tidily.
-                    for p in &prepared {
-                        p.rollback_branch(tx);
-                    }
-                    journal.append(XaRecord::Aborted { xid })?;
-                    return Ok(TxOutcome::Aborted(e));
-                }
+                // A no-vote is not a crash: abort tidily.
+                Err(e) => return abort_with(&prepared, e),
             }
             journal.append(XaRecord::Prepared { xid, source: db.name.clone() })?;
             // A crash here leaves this branch (and every earlier one)
             // holding prepared locks with no decision journaled —
             // recovery presumes abort.
-            crash_check(&db.name, Op::XaPrepared)?;
+            point_check(&db.name, Op::XaPrepared)?;
+            if let Some(e) = budget_err() {
+                return abort_with(&prepared, e);
+            }
         }
 
+        // Last chance to cancel: once the decision is journaled the
+        // transaction commits no matter what the budget says.
+        if let Some(e) = budget_err() {
+            return abort_with(&prepared, e);
+        }
         // The point of no return.
         journal.append(XaRecord::CommitDecision { xid })?;
-        crash_check("coordinator", Op::XaDecide)?;
+        point_check("coordinator", Op::XaDecide)?;
 
         // Phase 2: commit every branch, journaling each completion.
         for (db, _) in &self.participants {
@@ -1515,7 +1553,7 @@ impl TwoPhaseCoordinator {
             // A crash here: the branch is committed at the source but
             // its Committed record is missing — recovery replays the
             // decision, and the branch's idempotent commit absorbs it.
-            crash_check(&db.name, Op::XaCommit)?;
+            point_check(&db.name, Op::XaCommit)?;
             journal.append(XaRecord::Committed { xid, source: db.name.clone() })?;
         }
         Ok(TxOutcome::Committed)

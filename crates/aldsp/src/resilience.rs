@@ -43,6 +43,11 @@ use xdm::error::XdmResult;
 use crate::errors::{is_retryable, AldspCode};
 use crate::fault::{FaultInjector, Injected, Op};
 
+/// Diagnostic prefix stamped on breaker fast-fail errors (the source
+/// name follows). [`Access::attempt`] uses it to keep a propagated
+/// fast-fail from counting against a *wrapping* source's breaker.
+const BREAKER_FAST_FAIL: &str = "breaker-fast-fail: ";
+
 /// A shared, monotonically advancing millisecond counter.
 ///
 /// All "waiting" in the resilience layer — backoff, slow responses,
@@ -65,6 +70,34 @@ impl VirtualClock {
     pub fn advance(&self, ms: u64) {
         self.0.fetch_add(ms, Ordering::SeqCst);
     }
+
+    /// View this clock as a [`BudgetClock`](xqeval::BudgetClock), so a
+    /// request deadline can be expressed on the same timeline the
+    /// resilience layer advances — backoff and injected latency then
+    /// consume the deadline deterministically, with no real sleeps.
+    pub fn budget_clock(&self) -> xqeval::BudgetClock {
+        let inner = self.0.clone();
+        Arc::new(move || inner.load(Ordering::SeqCst))
+    }
+}
+
+/// Retry-loop guard: refuse to start a backoff wait the request's
+/// remaining deadline cannot cover, and surface cancellation before
+/// burning another attempt. With no thread-local budget installed
+/// this is a no-op.
+fn budget_allows_backoff(backoff_ms: u64) -> XdmResult<()> {
+    if let Some(b) = xqeval::budget::current_budget() {
+        b.check()?;
+        if let Some(rem) = b.remaining_ms() {
+            if backoff_ms >= rem {
+                return Err(xqeval::BudgetExceeded::Deadline.error(format!(
+                    "retry abandoned: {backoff_ms}ms backoff exceeds the \
+                     {rem}ms left before the request deadline"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Tunable knobs for retry, timeout, and circuit breaking.
@@ -270,11 +303,20 @@ impl Resilience {
             }
             BreakerState::Open => {
                 self.stats.fast_failures += 1;
-                Err(AldspCode::SrcUnavailable.error(format!(
-                    "circuit breaker open for source '{source}' \
-                     (cooling down until t={}ms)",
-                    opened_at + self.policy.breaker_cooldown_ms
-                )))
+                // The diagnostic marks this as a breaker-generated
+                // fast-fail (see BREAKER_FAST_FAIL): when the error
+                // propagates out through a *wrapping* source call, the
+                // outer breaker must not count it — an open breaker on
+                // a dependency says nothing about the wrapper's own
+                // health, and counting it cascades one trip into
+                // fail-fast storms across every layered source.
+                Err(AldspCode::SrcUnavailable
+                    .error(format!(
+                        "circuit breaker open for source '{source}' \
+                         (cooling down until t={}ms)",
+                        opened_at + self.policy.breaker_cooldown_ms
+                    ))
+                    .diagnostics(vec![format!("{BREAKER_FAST_FAIL}{source}")]))
             }
             _ => Ok(()),
         }
@@ -345,6 +387,12 @@ impl Access {
         batch: Option<usize>,
         call: &mut dyn FnMut() -> XdmResult<T>,
     ) -> XdmResult<T> {
+        // A request whose budget is already spent (deadline passed,
+        // cancelled) never touches a source: fail before admission so
+        // the breaker sees nothing.
+        if let Some(b) = xqeval::budget::current_budget() {
+            b.check()?;
+        }
         if let Some(res) = &self.resilience {
             res.lock().admit(source)?;
         }
@@ -363,14 +411,31 @@ impl Access {
                 .error(format!("injected coordinator crash on {source}/{op}"))),
             Some(Injected::Delay(ms)) => {
                 if let Some(res) = &self.resilience {
+                    // The effective timeout is the *lesser* of the
+                    // policy's and the request's remaining deadline:
+                    // there is no point waiting 1000ms for a source
+                    // when the client hangs up in 200ms. Remaining
+                    // time is read before the latency is charged —
+                    // the clamp models the timeout armed at call
+                    // start.
+                    let budget_remaining = xqeval::budget::current_budget()
+                        .and_then(|b| b.remaining_ms());
                     let mut r = res.lock();
+                    let effective = match budget_remaining {
+                        Some(rem) => r.policy.timeout_ms.min(rem),
+                        None => r.policy.timeout_ms,
+                    };
                     r.clock.advance(ms);
-                    if ms > r.policy.timeout_ms {
+                    if ms > effective {
                         r.stats.timeouts += 1;
+                        let clamped = if effective < r.policy.timeout_ms {
+                            " (clamped to the request's remaining deadline)"
+                        } else {
+                            ""
+                        };
                         Err(AldspCode::SrcTimeout.error(format!(
                             "call to '{source}' ({op}) took {ms}ms, \
-                             over the {}ms budget",
-                            r.policy.timeout_ms
+                             over the {effective}ms budget{clamped}"
                         )))
                     } else {
                         drop(r);
@@ -379,6 +444,19 @@ impl Access {
                 } else {
                     call()
                 }
+            }
+            Some(Injected::Stall(ms)) => {
+                // A stall burns virtual time — and therefore the
+                // request's deadline — without tripping the policy
+                // timeout. The post-stall budget check is where an
+                // expired deadline surfaces.
+                if let Some(res) = &self.resilience {
+                    res.lock().clock.advance(ms);
+                }
+                if let Some(b) = xqeval::budget::current_budget() {
+                    b.check()?;
+                }
+                call()
             }
             None => call(),
         };
@@ -389,7 +467,13 @@ impl Access {
                 // Only infrastructure faults count against the
                 // breaker; logical errors (constraint violations, OCC
                 // conflicts, bad requests) say nothing about source
-                // health.
+                // health. A fast-fail generated by some *other*
+                // source's open breaker (nested call, e.g. a service
+                // read wrapping a web-service call) is neutral: it
+                // carries no information about this source, and
+                // counting it would cascade one open breaker into a
+                // pool-wide fail-fast storm.
+                Err(e) if e.diagnostics.iter().any(|d| d.starts_with(BREAKER_FAST_FAIL)) => {}
                 Err(e) => match AldspCode::of(e) {
                     Some(AldspCode::SrcTransient)
                     | Some(AldspCode::SrcTimeout)
@@ -432,6 +516,7 @@ impl Access {
                     if let Some(res) = &self.resilience {
                         let mut r = res.lock();
                         let backoff = r.policy.base_backoff_ms << attempt_no;
+                        budget_allows_backoff(backoff)?;
                         r.clock.advance(backoff);
                         r.stats.retries += 1;
                     }
@@ -523,6 +608,7 @@ impl Access {
                         if let Some(res) = &self.resilience {
                             let mut r = res.lock();
                             let backoff = r.policy.base_backoff_ms << attempt_no;
+                            budget_allows_backoff(backoff)?;
                             r.clock.advance(backoff);
                             r.stats.retries += 1;
                         }
@@ -833,6 +919,105 @@ mod resilience_tests {
         let out = acc.run_read_batch("WS", Op::Call, 0, |_| Ok(0), |_| None);
         assert_eq!(out, Ok(vec![]));
         assert_eq!(acc.injector.as_ref().unwrap().lock().injected_count(), 0);
+    }
+
+    fn install_deadline(acc: &Access, ms: u64) -> Arc<xqeval::Budget> {
+        let clock = acc.resilience.as_ref().unwrap().lock().clock();
+        let budget =
+            Arc::new(xqeval::Budget::with_clock(clock.budget_clock()).deadline_in(ms));
+        xqeval::budget::set_current_budget(Some(budget.clone()));
+        budget
+    }
+
+    #[test]
+    fn delay_timeout_clamps_to_the_remaining_deadline() {
+        let acc = access(
+            FaultPlan::new()
+                .rule(FaultRule::new("WS", Op::Call, FaultKind::SlowResponse(500)).times(1)),
+            Policy { timeout_ms: 1_000, max_retries: 0, ..Policy::default() },
+        );
+        // 500ms of injected latency is inside the 1000ms policy
+        // timeout, but the request only has 200ms of deadline left —
+        // the effective timeout clamps down and the call times out.
+        install_deadline(&acc, 200);
+        let err = acc.run("WS", Op::Call, || Ok(0)).unwrap_err();
+        xqeval::budget::set_current_budget(None);
+        assert_eq!(AldspCode::of(&err), Some(AldspCode::SrcTimeout));
+        assert!(err.message.contains("clamped"), "message explains the clamp: {err}");
+    }
+
+    #[test]
+    fn budget_deadline_stops_the_retry_loop_early() {
+        let acc = access(
+            FaultPlan::new().rule(FaultRule::new("DB", Op::Scan, FaultKind::Transient)),
+            Policy { max_retries: 5, base_backoff_ms: 100, ..Policy::default() },
+        );
+        // First backoff (100ms) fits the 150ms deadline; the second
+        // (200ms) does not — the loop gives up with the budget error
+        // instead of sleeping past the client's hang-up.
+        install_deadline(&acc, 150);
+        let err = acc.run("DB", Op::Scan, || Ok(0)).unwrap_err();
+        xqeval::budget::set_current_budget(None);
+        assert_eq!(AldspCode::of(&err), Some(AldspCode::DeadlineExceeded));
+        assert_eq!(acc.resilience.as_ref().unwrap().lock().stats().retries, 1);
+    }
+
+    #[test]
+    fn stall_burns_the_clock_without_a_timeout() {
+        let acc = access(
+            FaultPlan::new()
+                .rule(FaultRule::new("DB", Op::Scan, FaultKind::Stall(5_000)).times(1)),
+            Policy { timeout_ms: 1_000, ..Policy::default() },
+        );
+        // Without a budget a stall is invisible — even one far past
+        // the policy timeout (contrast SlowResponse).
+        assert_eq!(acc.run("DB", Op::Scan, || Ok(1)), Ok(1));
+        let res = acc.resilience.as_ref().unwrap().lock();
+        assert_eq!(res.stats().timeouts, 0);
+        assert_eq!(res.clock().now_ms(), 5_000);
+    }
+
+    #[test]
+    fn stall_past_the_deadline_surfaces_deadline_exceeded() {
+        let acc = access(
+            FaultPlan::new()
+                .rule(FaultRule::new("DB", Op::Scan, FaultKind::Stall(300)).times(1)),
+            Policy::default(),
+        );
+        install_deadline(&acc, 200);
+        let mut reached = false;
+        let err = acc
+            .run("DB", Op::Scan, || {
+                reached = true;
+                Ok(0)
+            })
+            .unwrap_err();
+        xqeval::budget::set_current_budget(None);
+        assert!(!reached, "the stalled call is abandoned at the deadline");
+        assert_eq!(AldspCode::of(&err), Some(AldspCode::DeadlineExceeded));
+        assert_eq!(
+            acc.resilience.as_ref().unwrap().lock().stats().timeouts,
+            0,
+            "a stall is not a timeout"
+        );
+    }
+
+    #[test]
+    fn cancelled_request_never_reaches_the_source() {
+        let acc = access(FaultPlan::new(), Policy::default());
+        let budget = Arc::new(xqeval::Budget::unlimited());
+        budget.cancel();
+        xqeval::budget::set_current_budget(Some(budget));
+        let mut reached = false;
+        let err = acc
+            .run("DB", Op::Scan, || {
+                reached = true;
+                Ok(0)
+            })
+            .unwrap_err();
+        xqeval::budget::set_current_budget(None);
+        assert!(!reached, "cancelled requests must not touch sources");
+        assert_eq!(AldspCode::of(&err), Some(AldspCode::Cancelled));
     }
 
     #[test]

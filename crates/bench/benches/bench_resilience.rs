@@ -56,6 +56,31 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(read_once(&stormy)))
     });
 
+    // PR 8 budget guard, same <5% target: (a) no budget installed —
+    // the hot loop pays one Cell read per eval step; (b) a fully
+    // armed budget (far-future deadline + fuel ceiling) that never
+    // trips — the full bookkeeping path. Compare both against
+    // `resilience_no_faults` above.
+    let unbudgeted = demo::build(N, 3, 2).expect("demo");
+    unbudgeted.space.install_resilience(Resilience::new(Policy::default()));
+    g.bench_function("budget_none", |b| {
+        b.iter(|| black_box(read_once(&unbudgeted)))
+    });
+
+    let budgeted = demo::build(N, 3, 2).expect("demo");
+    budgeted.space.install_resilience(Resilience::new(Policy::default()));
+    let t0 = std::time::Instant::now();
+    let clock: xqeval::BudgetClock =
+        std::sync::Arc::new(move || t0.elapsed().as_millis() as u64);
+    budgeted.space.engine().force_budget(Some(std::sync::Arc::new(
+        xqeval::Budget::with_clock(clock)
+            .deadline_in(3_600_000)
+            .limit_fuel(u64::MAX / 4),
+    )));
+    g.bench_function("budget_armed_never_trips", |b| {
+        b.iter(|| black_box(read_once(&budgeted)))
+    });
+
     g.finish();
 }
 

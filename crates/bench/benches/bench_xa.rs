@@ -63,7 +63,7 @@ fn bench(c: &mut Criterion) {
                 (d.db1.clone(), o1),
                 (d.db2.clone(), o2),
             ]);
-            black_box(coord.run_journaled(&journal, None))
+            black_box(coord.run_journaled(&journal, None, None))
         })
     });
     g.finish();

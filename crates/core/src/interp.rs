@@ -247,6 +247,12 @@ pub fn exec_statement(
         }
         Statement::While { cond, body } => {
             loop {
+                // Cooperative budget point: `while` is what makes XQSE
+                // Turing-complete, so every trip checks cancellation
+                // (deadline strided — the clock read is the expensive
+                // part) before re-evaluating the condition. Fuel is
+                // charged inside the evaluator.
+                engine.budget_loop_check()?;
                 let b = Evaluator::new(engine)
                     .eval(cond, env)?
                     .effective_boolean()?;
@@ -268,6 +274,9 @@ pub fn exec_statement(
             let binding = eval_value_statement(engine, over, env)?;
             let size = binding.len();
             for (i, item) in binding.into_iter().enumerate() {
+                // Same cooperative point as `while`: iterate bodies
+                // run updates/source calls per item.
+                engine.budget_loop_check()?;
                 env.push_scope();
                 env.bind(var.clone(), Sequence::one(item));
                 if let Some(p) = pos {

@@ -153,6 +153,9 @@ impl XqueryP {
                 // concatenation* of its body's values.
                 let mut acc = Sequence::empty();
                 loop {
+                    // Cooperative budget point (see interp.rs): the
+                    // sequential mode is just as Turing-complete.
+                    self.engine.budget_loop_check()?;
                     let b = Evaluator::new(&self.engine)
                         .eval(cond, env)?
                         .effective_boolean()?;
@@ -171,6 +174,7 @@ impl XqueryP {
                 let binding = self.eval_value(over, env)?;
                 let mut acc = Sequence::empty();
                 for (i, item) in binding.into_iter().enumerate() {
+                    self.engine.budget_loop_check()?;
                     env.push_scope();
                     env.bind(var.clone(), Sequence::one(item));
                     if let Some(p) = pos {

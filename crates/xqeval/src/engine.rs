@@ -155,6 +155,18 @@ pub struct OptStats {
     /// Branch replays skipped because the branch had already reached
     /// the target state (idempotent replay).
     pub xa_replays_skipped: u64,
+    /// Requests shed by serving-pool admission control (queue full, or
+    /// queue wait consumed the deadline) — they never reached a worker.
+    pub budget_shed: u64,
+    /// Requests that failed with `aldsp:CANCELLED` (external
+    /// cancellation observed at a cooperative check point).
+    pub budget_cancelled: u64,
+    /// Requests that failed with `aldsp:DEADLINE_EXCEEDED`.
+    pub budget_deadline: u64,
+    /// Requests that failed with `aldsp:FUEL_EXHAUSTED`.
+    pub budget_fuel: u64,
+    /// Requests that failed with `aldsp:MEMORY_LIMIT`.
+    pub budget_memory: u64,
 }
 
 impl OptStats {
@@ -181,6 +193,11 @@ impl OptStats {
         self.xa_rolled_forward += other.xa_rolled_forward;
         self.xa_rolled_back += other.xa_rolled_back;
         self.xa_replays_skipped += other.xa_replays_skipped;
+        self.budget_shed += other.budget_shed;
+        self.budget_cancelled += other.budget_cancelled;
+        self.budget_deadline += other.budget_deadline;
+        self.budget_fuel += other.budget_fuel;
+        self.budget_memory += other.budget_memory;
     }
 }
 
@@ -228,6 +245,16 @@ pub struct OptCounters {
     pub xa_rolled_back: Cell<u64>,
     /// See [`OptStats::xa_replays_skipped`].
     pub xa_replays_skipped: Cell<u64>,
+    /// See [`OptStats::budget_shed`].
+    pub budget_shed: Cell<u64>,
+    /// See [`OptStats::budget_cancelled`].
+    pub budget_cancelled: Cell<u64>,
+    /// See [`OptStats::budget_deadline`].
+    pub budget_deadline: Cell<u64>,
+    /// See [`OptStats::budget_fuel`].
+    pub budget_fuel: Cell<u64>,
+    /// See [`OptStats::budget_memory`].
+    pub budget_memory: Cell<u64>,
 }
 
 impl OptCounters {
@@ -366,6 +393,23 @@ pub struct Engine {
     batchables: RefCell<HashMap<(QName, usize), BatchFn>>,
     /// Optimizer counters.
     opt: Rc<OptCounters>,
+    /// Fast-path flag mirroring `budget.is_some()`: the evaluator hot
+    /// loop reads this one `Cell<bool>` per step and skips all budget
+    /// bookkeeping when no budget is installed, keeping the no-budget
+    /// path within its 5% overhead guard.
+    budget_active: Cell<bool>,
+    /// Raw mirror of the `Arc` in `budget`, for the per-step hot
+    /// path: reading `Option<Arc<_>>` out of a `RefCell` costs a
+    /// borrow-flag round-trip per evaluation step, which the armed
+    /// overhead guard can see. Null when no budget is installed;
+    /// otherwise valid exactly as long as `budget` holds the owning
+    /// `Arc` (both are updated together in [`Engine::force_budget`],
+    /// and `Engine` is `!Sync`, so no other thread can swap them
+    /// mid-read).
+    budget_raw: Cell<*const crate::budget::Budget>,
+    /// The budget of the request this engine is currently serving
+    /// (installed per request by the serving pool or `xqsh` flags).
+    budget: RefCell<Option<Arc<crate::budget::Budget>>>,
 }
 
 /// Default prepared-plan cache capacity: enough for every distinct
@@ -414,6 +458,107 @@ impl Engine {
             plan_cache: RefCell::new(Lru::new(PLAN_CACHE_CAPACITY)),
             batchables: RefCell::new(HashMap::new()),
             opt: Rc::new(OptCounters::default()),
+            budget_active: Cell::new(false),
+            budget_raw: Cell::new(std::ptr::null()),
+            budget: RefCell::new(None),
+        }
+    }
+
+    /// Install (or clear) the per-request budget this engine enforces.
+    /// Also mirrors the budget into the thread-local slot the
+    /// source-access layers read ([`crate::budget::current_budget`]).
+    /// A no-op install when `XQSE_DISABLE_BUDGETS=1` (the kill switch)
+    /// or when the budget has no limits (nothing to enforce — the
+    /// caller keeps the `Arc` if it wants pure cancellation, which
+    /// still works through [`Engine::set_budget`] by installing an
+    /// unlimited budget explicitly via [`Engine::force_budget`]).
+    pub fn set_budget(&self, budget: Option<Arc<crate::budget::Budget>>) {
+        let budget = if crate::budget::budgets_enabled() { budget } else { None };
+        self.force_budget(budget);
+    }
+
+    /// [`Engine::set_budget`] without the kill-switch gate: tests and
+    /// the pool's cancellation path install unconditionally.
+    pub fn force_budget(&self, budget: Option<Arc<crate::budget::Budget>>) {
+        crate::budget::set_current_budget(budget.clone());
+        self.budget_active.set(budget.is_some());
+        self.budget_raw.set(
+            budget.as_ref().map_or(std::ptr::null(), Arc::as_ptr),
+        );
+        *self.budget.borrow_mut() = budget;
+    }
+
+    /// The installed budget as a plain borrow — the hot-path read
+    /// behind [`Engine::budget_step`] and friends.
+    ///
+    /// SAFETY contract for callers: use the returned borrow
+    /// immediately and do not call [`Engine::force_budget`] (which
+    /// drops the owning `Arc`) while holding it.
+    #[inline]
+    fn budget_ref(&self) -> Option<&crate::budget::Budget> {
+        let p = self.budget_raw.get();
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: `budget_raw` is non-null only while the Arc in
+            // `self.budget` (set in the same force_budget call) keeps
+            // the pointee alive, and `Engine` is `!Sync`, so nothing
+            // can swap the budget concurrently with this read.
+            unsafe { Some(&*p) }
+        }
+    }
+
+    /// The budget currently installed on this engine, if any.
+    pub fn budget(&self) -> Option<Arc<crate::budget::Budget>> {
+        self.budget.borrow().clone()
+    }
+
+    /// Is a budget installed? One `Cell` read — the evaluator's
+    /// per-step fast path.
+    #[inline]
+    pub fn budget_active(&self) -> bool {
+        self.budget_active.get()
+    }
+
+    /// Hot-loop charge: one fuel unit (plus strided deadline /
+    /// cancellation checks). No-op without an installed budget.
+    #[inline]
+    pub fn budget_step(&self) -> XdmResult<()> {
+        match self.budget_ref() {
+            Some(b) => b.step(),
+            None => Ok(()),
+        }
+    }
+
+    /// Coarse cooperative check (cancellation + deadline, unstrided).
+    /// No-op without an installed budget.
+    #[inline]
+    pub fn budget_check(&self) -> XdmResult<()> {
+        match self.budget_ref() {
+            Some(b) => b.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Loop-head cooperative check: cancellation every call, the
+    /// deadline strided (see [`crate::budget::Budget::loop_check`]).
+    /// The statement interpreters call this at `while`/`iterate`
+    /// heads. No-op without an installed budget.
+    #[inline]
+    pub fn budget_loop_check(&self) -> XdmResult<()> {
+        match self.budget_ref() {
+            Some(b) => b.loop_check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge `units` of XDM allocation against the installed budget
+    /// (node constructors). No-op without an installed budget.
+    #[inline]
+    pub fn budget_charge_memory(&self, units: u64) -> XdmResult<()> {
+        match self.budget_ref() {
+            Some(b) => b.charge_memory(units),
+            None => Ok(()),
         }
     }
 
@@ -666,6 +811,11 @@ impl Engine {
             xa_rolled_forward: self.opt.xa_rolled_forward.get(),
             xa_rolled_back: self.opt.xa_rolled_back.get(),
             xa_replays_skipped: self.opt.xa_replays_skipped.get(),
+            budget_shed: self.opt.budget_shed.get(),
+            budget_cancelled: self.opt.budget_cancelled.get(),
+            budget_deadline: self.opt.budget_deadline.get(),
+            budget_fuel: self.opt.budget_fuel.get(),
+            budget_memory: self.opt.budget_memory.get(),
         }
     }
 
@@ -691,6 +841,11 @@ impl Engine {
         o.xa_rolled_forward.set(0);
         o.xa_rolled_back.set(0);
         o.xa_replays_skipped.set(0);
+        o.budget_shed.set(0);
+        o.budget_cancelled.set(0);
+        o.budget_deadline.set(0);
+        o.budget_fuel.set(0);
+        o.budget_memory.set(0);
     }
 
     /// Shared counter block for the evaluator and source closures.

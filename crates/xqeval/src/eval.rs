@@ -168,6 +168,10 @@ impl<'e> Evaluator<'e> {
 
     /// Evaluate an expression to a sequence.
     pub fn eval(&self, expr: &Expr, env: &mut Env) -> XdmResult<Sequence> {
+        // Per-request budget: one fuel unit per evaluation step. The
+        // no-budget path is a single `Cell<bool>` read (see the
+        // `budget_overhead_guard` in tests/chaos.rs).
+        self.engine.budget_step()?;
         match expr {
             Expr::Literal(a) => Ok(Sequence::one(Item::Atomic(a.clone()))),
             Expr::VarRef(name) => match env.lookup(name) {
@@ -369,11 +373,16 @@ impl<'e> Evaluator<'e> {
                 self.call_function_inner(name, argv, env)
             }
             Expr::DirectElement(de) => {
+                // XDM allocation ceiling: each constructed tree
+                // charges the budget (coarse per-constructor units —
+                // the ceiling is a guard rail, not an allocator).
+                self.engine.budget_charge_memory(1)?;
                 let arena = NodeArena::new();
                 let node = self.build_direct_element(de, &arena, env)?;
                 Ok(Sequence::one(Item::Node(node)))
             }
             Expr::ComputedElement(name, content) => {
+                self.engine.budget_charge_memory(1)?;
                 let q = self.eval_name_expr(name, env, "element")?;
                 let arena = NodeArena::new();
                 let elem = NodeHandle::new_element(&arena, q);
@@ -384,6 +393,7 @@ impl<'e> Evaluator<'e> {
                 Ok(Sequence::one(Item::Node(elem)))
             }
             Expr::ComputedAttribute(name, content) => {
+                self.engine.budget_charge_memory(1)?;
                 let q = self.eval_name_expr(name, env, "attribute")?;
                 let value = match content {
                     Some(c) => space_joined(&self.eval(c, env)?),
@@ -395,6 +405,7 @@ impl<'e> Evaluator<'e> {
                 ))))
             }
             Expr::ComputedText(c) => {
+                self.engine.budget_charge_memory(1)?;
                 let seq = self.eval(c, env)?;
                 if seq.is_empty() {
                     return Ok(Sequence::empty());

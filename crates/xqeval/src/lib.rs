@@ -20,6 +20,7 @@
 //! calls from expressions are permitted only for `readonly` procedures
 //! (`XQSE0004`).
 
+pub mod budget;
 pub mod cache;
 pub mod context;
 pub mod engine;
@@ -29,6 +30,7 @@ pub mod functions;
 pub mod regex_lite;
 pub mod update;
 
+pub use budget::{Budget, BudgetClock, BudgetExceeded};
 pub use cache::Lru;
 pub use context::Env;
 pub use engine::{

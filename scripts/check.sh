@@ -62,6 +62,17 @@ run cargo test -q $NET --test chaos xa_
 # pooled-vs-sequential read-equivalence property.
 run cargo test -q $NET --test chaos serve_
 
+# Request-budget gate (PR 8): the cancel-at-every-XA-protocol-point
+# stall matrix (a budget must never split a distributed transaction),
+# the pool admission books (completed + shed + cancelled = offered),
+# fuel/deadline/memory enforcement, worker-panic containment, and the
+# no-partial-writes property under random interruption. Then the kill
+# switch: XQSE_DISABLE_BUDGETS=1 must make every budget spec inert,
+# restoring the pre-budget serving behavior.
+run cargo test -q $NET --test chaos budget_
+echo "==> XQSE_DISABLE_BUDGETS=1 cargo test -q $NET --test chaos budget_kill_switch"
+XQSE_DISABLE_BUDGETS=1 cargo test -q $NET --test chaos budget_kill_switch
+
 # Lints. Clippy may be absent in minimal toolchains; warn, don't fail.
 # Note: the optimizer-layer modules (xqeval/engine.rs, aldsp/rel.rs,
 # aldsp/introspect.rs) carry in-source `#![deny(clippy::unwrap_used)]`,
@@ -84,6 +95,14 @@ if [ "$QUICK" -eq 0 ]; then
     echo "==> cargo test -q $NET --release --test chaos xa_journal_overhead_guard -- --ignored"
     cargo test -q $NET --release --test chaos xa_journal_overhead_guard -- --ignored \
         || echo "==> xa journal overhead guard exceeded its 5% budget (warning only)" >&2
+
+    # Budget-overhead guard: a fully armed budget that never trips
+    # must stay within 5% of the unbudgeted evaluator (bench_resilience
+    # has the matching budget_none / budget_armed_never_trips cases).
+    # Same noise caveat: warn, don't fail.
+    echo "==> cargo test -q $NET --release --test chaos budget_overhead_guard -- --ignored"
+    cargo test -q $NET --release --test chaos budget_overhead_guard -- --ignored \
+        || echo "==> budget overhead guard exceeded its 5% budget (warning only)" >&2
 
     # Bench-regression tripwire: run the quick experiment table
     # (including E14, the serving-pool throughput curve), compare

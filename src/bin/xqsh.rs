@@ -32,6 +32,18 @@
 //! one totals line. The env kill switch `XQSE_SERVE_WORKERS`
 //! overrides N (EXPERIMENTS.md E14 uses `XQSE_SERVE_WORKERS=1` to
 //! reproduce single-threaded numbers).
+//!
+//! `--deadline-ms MS` / `--fuel N` attach a per-request budget: in
+//! script/repl mode the whole program runs under one budget (real
+//! elapsed time); under `--serve-bench` every pool request gets its
+//! own. Exhaustion surfaces as the XQSE-catchable errors
+//! `aldsp:DEADLINE_EXCEEDED` / `aldsp:FUEL_EXHAUSTED` (see
+//! docs/LIMITS.md). `--overload` switches `--serve-bench` to the
+//! load-shedding driver: clients submit at 4× pool concurrency
+//! without back-pressure and excess arrivals are shed fast with
+//! `aldsp:OVERLOADED`; the report line prints
+//! offered/completed/shed/cancelled. `XQSE_DISABLE_BUDGETS=1` is the
+//! budget kill switch.
 
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
@@ -44,8 +56,9 @@ use xqse::Xqse;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xqsh <file.xqse | - | --repl> [--trace] [--xqueryp] [--explain] \
-         [--no-opt] [--no-batch] [--doc URI=FILE]...\n       \
-         xqsh --serve-bench N [--requests R] [--delay-us D] [--explain]"
+         [--no-opt] [--no-batch] [--deadline-ms MS] [--fuel N] [--doc URI=FILE]...\n       \
+         xqsh --serve-bench N [--requests R] [--delay-us D] [--overload] \
+         [--deadline-ms MS] [--fuel N] [--explain]"
     );
     ExitCode::from(2)
 }
@@ -82,6 +95,10 @@ fn print_explain_stats(s: &OptStats, optimize: bool, batch: bool) {
         s.xa_rolled_back,
         s.xa_replays_skipped
     );
+    eprintln!(
+        "explain: budgets        shed={} cancelled={} deadline={} fuel={} memory={}",
+        s.budget_shed, s.budget_cancelled, s.budget_deadline, s.budget_fuel, s.budget_memory
+    );
 }
 
 fn print_explain(engine: &Engine) {
@@ -92,10 +109,21 @@ fn print_explain(engine: &Engine) {
     );
 }
 
-/// The `--serve-bench` mode: the E14 closed-loop throughput driver.
-fn serve_bench(workers: usize, requests: usize, delay_us: u64, explain: bool) -> ExitCode {
+/// The `--serve-bench` mode: the E14 closed-loop throughput driver,
+/// or (with `overload`) the E15 load-shedding driver.
+fn serve_bench(
+    workers: usize,
+    requests: usize,
+    delay_us: u64,
+    explain: bool,
+    overload: bool,
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+) -> ExitCode {
     use aldsp::demo;
-    use aldsp::pool::{drive_closed_loop, ServeArg, ServePool, ServeRequest, ServeSpec};
+    use aldsp::pool::{
+        drive_closed_loop, drive_open_loop, ServeArg, ServePool, ServeRequest, ServeSpec,
+    };
     use aldsp::ws::WebService;
 
     // One distinct customer per request so the per-worker response
@@ -108,7 +136,21 @@ fn serve_bench(workers: usize, requests: usize, delay_us: u64, explain: bool) ->
         }
     };
     let (db1, db2) = (demo.db1.clone(), demo.db2.clone());
-    let pool = ServePool::start(ServeSpec::new(workers), move |_worker| {
+    let mut spec = ServeSpec::new(workers);
+    if overload {
+        // Admission control needs a bound to enforce: cap the queue at
+        // one waiting request per worker so the 4× offered load
+        // actually overflows it and sheds, instead of parking in an
+        // effectively unbounded queue.
+        spec.queue_capacity = workers.max(1);
+    }
+    if let Some(ms) = deadline_ms {
+        spec = spec.with_deadline_ms(ms);
+    }
+    if let Some(steps) = fuel {
+        spec = spec.with_fuel(steps);
+    }
+    let pool = ServePool::start(spec, move |_worker| {
         demo::assemble(
             &db1,
             &db2,
@@ -122,9 +164,34 @@ fn serve_bench(workers: usize, requests: usize, delay_us: u64, explain: bool) ->
             args: vec![ServeArg::Str((i + 1).to_string())],
         })
         .collect();
-    let clients = pool.workers() * 2;
-    let (replies, elapsed) = drive_closed_loop(&pool, &reqs, clients);
-    let errors = replies.iter().filter(|r| r.result.is_err()).count();
+    // Overload mode offers 4× the pool's concurrency without
+    // back-pressure; the closed loop stays at the E14 shape.
+    let clients = if overload { pool.workers() * 4 } else { pool.workers() * 2 };
+    let (replies, elapsed) = if overload {
+        drive_open_loop(&pool, &reqs, clients)
+    } else {
+        drive_closed_loop(&pool, &reqs, clients)
+    };
+    // Budget-governed outcomes (sheds, deadline/fuel/memory
+    // terminations, cancels) are expected under overload or tight
+    // budgets and are reported via the pool counters, not as errors.
+    let budget_outcomes = replies
+        .iter()
+        .filter(|r| {
+            use aldsp::errors::AldspCode as C;
+            matches!(
+                r.result.as_ref().err().and_then(C::of),
+                Some(
+                    C::Overloaded
+                        | C::DeadlineExceeded
+                        | C::FuelExhausted
+                        | C::MemoryLimit
+                        | C::Cancelled
+                )
+            )
+        })
+        .count();
+    let errors = replies.iter().filter(|r| r.result.is_err()).count() - budget_outcomes;
     let report = pool.shutdown();
     let qps = replies.len() as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
@@ -136,13 +203,24 @@ fn serve_bench(workers: usize, requests: usize, delay_us: u64, explain: bool) ->
         elapsed.as_secs_f64() * 1e3,
         qps
     );
+    if overload {
+        // Goodput = completed work per second; sheds fail fast and are
+        // reported separately, not as errors.
+        let goodput = report.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "serve-bench: mode=overload offered={} completed={} shed={} cancelled={} goodput_qps={:.1}",
+            report.offered, report.completed, report.shed, report.cancelled, goodput
+        );
+    }
     for (i, err) in report.init_errors.iter().enumerate() {
         if let Some(err) = err {
             eprintln!("xqsh: worker {i} failed to initialize: {err}");
         }
     }
-    if let Some(e) = replies.iter().find_map(|r| r.result.as_ref().err()) {
-        eprintln!("xqsh: first request error: {e}");
+    if errors > 0 {
+        if let Some(e) = replies.iter().find_map(|r| r.result.as_ref().err()) {
+            eprintln!("xqsh: first request error: {e}");
+        }
     }
     if explain {
         // Aggregated per-worker counters, one totals line (the pool
@@ -168,6 +246,9 @@ fn main() -> ExitCode {
     let mut serve_workers: Option<usize> = None;
     let mut serve_requests: usize = 64;
     let mut serve_delay_us: u64 = 2000;
+    let mut overload = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut fuel: Option<u64> = None;
     let mut docs: Vec<(String, String)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -178,6 +259,15 @@ fn main() -> ExitCode {
             "--no-opt" => no_opt = true,
             "--no-batch" => no_batch = true,
             "--repl" => repl = true,
+            "--overload" => overload = true,
+            "--deadline-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => deadline_ms = Some(n),
+                _ => return usage(),
+            },
+            "--fuel" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => fuel = Some(n),
+                _ => return usage(),
+            },
             "--serve-bench" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => serve_workers = Some(n),
                 _ => return usage(),
@@ -205,9 +295,17 @@ fn main() -> ExitCode {
         if source_arg.is_some() || repl || sequential {
             return usage();
         }
-        return serve_bench(workers, serve_requests, serve_delay_us, explain);
+        return serve_bench(
+            workers,
+            serve_requests,
+            serve_delay_us,
+            explain,
+            overload,
+            deadline_ms,
+            fuel,
+        );
     }
-    if repl && (source_arg.is_some() || sequential) {
+    if overload || (repl && (source_arg.is_some() || sequential)) {
         return usage();
     }
 
@@ -217,6 +315,22 @@ fn main() -> ExitCode {
     }
     if no_batch {
         engine.set_batch(false);
+    }
+    if deadline_ms.is_some() || fuel.is_some() {
+        // One budget covers the whole script (or repl session), on
+        // real elapsed time. `XQSE_DISABLE_BUDGETS=1` makes this a
+        // no-op inside set_budget.
+        let t0 = std::time::Instant::now();
+        let clock: xqeval::BudgetClock =
+            std::sync::Arc::new(move || t0.elapsed().as_millis() as u64);
+        let mut budget = xqeval::Budget::with_clock(clock);
+        if let Some(ms) = deadline_ms {
+            budget = budget.deadline_in(ms);
+        }
+        if let Some(steps) = fuel {
+            budget = budget.limit_fuel(steps);
+        }
+        engine.set_budget(Some(std::sync::Arc::new(budget)));
     }
     for (uri, file) in docs {
         let xml = match std::fs::read_to_string(&file) {
