@@ -143,6 +143,18 @@ fn col_class(ty: ColumnType) -> Option<ColClass> {
     }
 }
 
+/// Seal every node in a sequence that is about to enter a cache: the
+/// trees will be served by reference to many evaluations, so their
+/// arenas must be marked shared. Sealed trees are exactly what the
+/// zero-copy constructor path can graft without a deep copy.
+fn seal_sequence(seq: &Sequence) {
+    for item in seq.iter() {
+        if let Item::Node(n) = item {
+            n.seal();
+        }
+    }
+}
+
 fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &str) {
     let opt = engine.optimize_handle();
     let counters = engine.opt_counters();
@@ -213,6 +225,7 @@ fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &
                 OptCounters::bump(&counters.indexed_selects);
                 let rows = db.select_indexed(&table, &vec![(col.to_string(), v)])?;
                 let seq = xmlmap::rows_to_sequence(&schema, &ns, &rows);
+                seal_sequence(&seq);
                 select_cache.borrow_mut().insert(ck, (ver, seq.clone()));
                 return Ok(seq);
             }
@@ -269,6 +282,7 @@ fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &
                     // probe and here — rebuild from a full scan.
                     let rows = db.scan(&table)?;
                     let seq = xmlmap::rows_to_sequence(&schema, &ns, &rows);
+                    seal_sequence(&seq);
                     OptCounters::bump(&counters.mat_misses);
                     *mat.borrow_mut() = Some((ver, seq.clone()));
                     Ok(seq)
@@ -276,6 +290,7 @@ fn register_read_all(engine: &Engine, db: &Database, schema: &TableSchema, ns: &
                 Some(rows) => {
                     OptCounters::bump(&counters.mat_misses);
                     let seq = xmlmap::rows_to_sequence(&schema, &ns, &rows);
+                    seal_sequence(&seq);
                     // Key on the version the scan *served* (under an
                     // outage this is the stale snapshot's version, so
                     // recovery forces a rebuild).

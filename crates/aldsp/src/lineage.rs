@@ -206,7 +206,7 @@ fn analyze_shape_content(
                 // A field element? (single fn:data($var/COL) content)
                 if let Some(col) = single_field_column(child, var) {
                     node.fields.push(FieldMap {
-                        element: child.name.local.clone(),
+                        element: child.name.local.to_string(),
                         column: col,
                     });
                     continue;
@@ -215,14 +215,14 @@ fn analyze_shape_content(
                 if let [DirectContent::Expr(inner)] = child.content.as_slice() {
                     if let Some(nested) = try_analyze_flwor(inner, resolver) {
                         node.children.push(ChildShape {
-                            wrapper: Some(child.name.local.clone()),
+                            wrapper: Some(child.name.local.to_string()),
                             node: nested,
                         });
                         continue;
                     }
                 }
                 // Otherwise: unprovable provenance.
-                node.unmapped.push(child.name.local.clone());
+                node.unmapped.push(child.name.local.to_string());
             }
             DirectContent::Expr(e) => {
                 // A bare embedded FLWOR constructing child elements
@@ -260,7 +260,7 @@ fn single_field_column(de: &DirectElement, var: &QName) -> Option<String> {
             axis: Axis::Child,
             test: xqparser::ast::NodeTest::Name(q),
             predicates,
-        }] if predicates.is_empty() => Some(q.local.clone()),
+        }] if predicates.is_empty() => Some(q.local.to_string()),
         _ => None,
     }
 }
@@ -271,7 +271,7 @@ fn single_field_column(de: &DirectElement, var: &QName) -> Option<String> {
 fn constructed_element_name(e: &Expr) -> Option<String> {
     match e {
         Expr::Flwor { ret, .. } => constructed_element_name(ret),
-        Expr::DirectElement(de) => Some(de.name.local.clone()),
+        Expr::DirectElement(de) => Some(de.name.local.to_string()),
         _ => None,
     }
 }

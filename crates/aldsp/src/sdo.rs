@@ -245,7 +245,7 @@ impl DataGraph {
         datagraph: &NodeHandle,
     ) -> XdmResult<DataGraph> {
         let bad = |msg: &str| XdmError::new(ErrorCode::DSP0005, msg.to_string());
-        if datagraph.name().map(|q| q.local) != Some("datagraph".to_string()) {
+        if datagraph.name().is_none_or(|q| q.local != "datagraph") {
             return Err(bad("expected an sdo:datagraph element"));
         }
         let children = datagraph.children();
@@ -305,7 +305,7 @@ impl DataGraph {
                     return;
                 }
                 for c in elem_children {
-                    path.push(c.name().map(|q| q.local).unwrap_or_default());
+                    path.push(c.name().map(|q| q.local.to_string()).unwrap_or_default());
                     leaves(&c, path, out);
                     path.pop();
                 }

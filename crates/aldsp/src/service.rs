@@ -338,13 +338,13 @@ impl DataSpace {
             .functions
             .iter()
             .map(|f| Method {
-                name: f.name.local.clone(),
+                name: f.name.local.to_string(),
                 kind: if f.name == *primary_read { MethodKind::Read } else { MethodKind::LibraryFunction },
                 arity: f.params.len(),
             })
             .collect();
         methods.extend(module.prolog.procedures.iter().map(|p| Method {
-            name: p.name.local.clone(),
+            name: p.name.local.to_string(),
             kind: if p.readonly {
                 MethodKind::LibraryFunction
             } else {
@@ -352,7 +352,7 @@ impl DataSpace {
             },
             arity: p.params.len(),
         }));
-        let shape = Some(lineage.root.element.local.clone());
+        let shape = Some(lineage.root.element.local.to_string());
         self.logical.borrow_mut().insert(
             name.to_string(),
             Rc::new(RefCell::new(LogicalMeta {

@@ -108,6 +108,15 @@ impl WebService {
     /// counting any forced LRU eviction in
     /// [`crate::ResilienceStats::cache_evictions`].
     fn cache_insert(&self, key: String, resp: Sequence) {
+        // The cached trees are served by reference to many
+        // evaluations: seal them so the zero-copy constructor path can
+        // graft them instead of deep-copying (mutation through a graft
+        // copies on write; the cache copy stays pristine).
+        for item in resp.iter() {
+            if let Item::Node(n) = item {
+                n.seal();
+            }
+        }
         let entry = (self.write_epoch.get(), resp);
         if self.response_cache.borrow_mut().insert(key, entry).is_some() {
             self.note_eviction();

@@ -49,7 +49,7 @@ fn werr(msg: impl Into<String>) -> XdmError {
 }
 
 fn local(n: &NodeHandle) -> String {
-    n.name().map(|q| q.local).unwrap_or_default()
+    n.name().map(|q| q.local.to_string()).unwrap_or_default()
 }
 
 fn attr(n: &NodeHandle, name: &str) -> Option<String> {

@@ -27,13 +27,24 @@ pub fn service_namespace(source: &str, table: &str) -> String {
 /// recorded as metadata only.
 pub fn row_to_xml(schema: &TableSchema, ns: &str, row: &Row) -> NodeHandle {
     let _ = ns;
-    let elem = NodeHandle::root_element(QName::new(schema.name.clone()));
+    let row_name = QName::new(schema.name.clone());
+    let col_names: Vec<QName> =
+        schema.columns.iter().map(|c| QName::new(c.name.clone())).collect();
+    row_to_xml_named(&row_name, &col_names, row)
+}
+
+/// Row→XML with the QNames already built. The names are identical for
+/// every row of a table, so the bulk materializer constructs them once
+/// per batch instead of once per row (interned `Symbol`s make each
+/// remaining clone a refcount bump).
+fn row_to_xml_named(row_name: &QName, col_names: &[QName], row: &Row) -> NodeHandle {
+    let elem = NodeHandle::root_element(row_name.clone());
     let arena = elem.arena().clone();
-    for (col, val) in schema.columns.iter().zip(row) {
+    for (name, val) in col_names.iter().zip(row) {
         if val.is_null() {
             continue;
         }
-        let c = NodeHandle::new_element(&arena, QName::new(col.name.clone()));
+        let c = NodeHandle::new_element(&arena, name.clone());
         c.append_child(&NodeHandle::new_text(&arena, val.lexical()))
             .expect("text under element");
         elem.append_child(&c).expect("element under element");
@@ -41,10 +52,14 @@ pub fn row_to_xml(schema: &TableSchema, ns: &str, row: &Row) -> NodeHandle {
     elem
 }
 
-/// Render many rows.
+/// Render many rows. Per-column QNames are hoisted out of the row loop.
 pub fn rows_to_sequence(schema: &TableSchema, ns: &str, rows: &[Row]) -> Sequence {
+    let _ = ns;
+    let row_name = QName::new(schema.name.clone());
+    let col_names: Vec<QName> =
+        schema.columns.iter().map(|c| QName::new(c.name.clone())).collect();
     rows.iter()
-        .map(|r| Item::Node(row_to_xml(schema, ns, r)))
+        .map(|r| Item::Node(row_to_xml_named(&row_name, &col_names, r)))
         .collect()
 }
 
@@ -52,7 +67,7 @@ pub fn rows_to_sequence(schema: &TableSchema, ns: &str, rows: &[Row]) -> Sequenc
 /// to NULL; namespaces are ignored on children (sources see local
 /// names).
 pub fn xml_to_row(schema: &TableSchema, node: &NodeHandle) -> XdmResult<Row> {
-    if node.name().map(|q| q.local) != Some(schema.name.clone()) {
+    if node.name().is_none_or(|q| q.local != schema.name) {
         return Err(XdmError::new(
             ErrorCode::DSP0003,
             format!(

@@ -454,7 +454,7 @@ pub fn replicate_run(f: &ReplicateFixture, batch: Sequence) -> Result<i64, Strin
         &mut env,
     ) {
         Ok(v) => Ok(v.string_value().unwrap_or_default().parse().unwrap_or(0)),
-        Err(e) => Err(e.code.local),
+        Err(e) => Err(e.code.local.to_string()),
     }
 }
 

@@ -23,6 +23,7 @@ pub mod atomic;
 pub mod decimal;
 pub mod datetime;
 pub mod error;
+pub mod intern;
 pub mod node;
 pub mod qname;
 pub mod sequence;
@@ -32,6 +33,7 @@ pub use atomic::AtomicValue;
 pub use decimal::Decimal;
 pub use datetime::{Date, DateTime};
 pub use error::{ErrorCode, XdmError, XdmResult};
+pub use intern::{xdm_stats, Symbol, XdmStats};
 pub use node::{NodeArena, NodeHandle, NodeId, NodeKind, SharedArena};
 pub use qname::QName;
 pub use sequence::{Item, Sequence};

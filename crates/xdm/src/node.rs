@@ -16,14 +16,41 @@
 //! XQSE program executes on one thread, matching the paper's
 //! sequential statement-execution model. Cross-thread concurrency in
 //! the reproduction lives in the ALDSP source layer, not in XDM.
+//!
+//! ## Structural sharing ("grafts")
+//!
+//! Element constructors used to deep-copy their content into the new
+//! arena — the construction-bound hot path. A child slot is now a
+//! [`ChildEntry`]: either a local node id, or a **graft** — a shared
+//! reference to an immutable subtree in another (sealed) arena. The
+//! graft is observably identical to a copy:
+//!
+//! - a handle reached *through* a graft carries a chain of
+//!   [`GraftLink`]s, so the parent axis at the graft root redirects to
+//!   the host element, identity distinguishes two grafts of the same
+//!   source node, and document order follows the host tree;
+//! - any mutation through a graft view first **materializes** the
+//!   grafted subtree into the host arena (copy-on-write), recording an
+//!   id map so outstanding view handles transparently follow the copy;
+//! - source arenas are **sealed** when shared (the table→XDM caches
+//!   seal eagerly; constructed parentless trees seal on first share),
+//!   which freezes the structure the grafts rely on.
+//!
+//! The one documented deviation: mutating a *sealed* arena directly
+//! (in place, not through a result view) remains possible and is then
+//! visible through results that grafted it — the eager-copy model
+//! would have isolated them. The sanctioned path (mutating the result)
+//! copies-on-write and stays fully isolated. See DESIGN.md §10.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::atomic::AtomicValue;
 use crate::error::{ErrorCode, XdmError, XdmResult};
+use crate::intern::{count_graft, count_graft_cow, count_node_built};
 use crate::qname::QName;
 
 /// Index of a node within its arena.
@@ -48,32 +75,89 @@ pub enum NodeKind {
     Pi,
 }
 
+/// One child slot of a document or element: a node in the same arena,
+/// or a grafted subtree shared from a sealed arena.
+#[derive(Debug, Clone)]
+enum ChildEntry {
+    Local(NodeId),
+    Graft(Rc<GraftCtx>),
+}
+
+/// One graft use: `root` in the sealed `sub` arena, adopted as a child
+/// of exactly one host slot. Each `graft_child` call creates a fresh
+/// `GraftCtx`, so grafting the same source node twice yields two
+/// distinct logical nodes (as two copies would have).
+struct GraftCtx {
+    sub: SharedArena,
+    root: NodeId,
+    state: RefCell<GraftState>,
+}
+
+impl fmt::Debug for GraftCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GraftCtx(root={:?}@arena{}, {})",
+            self.root,
+            self.sub.borrow().stamp,
+            match &*self.state.borrow() {
+                GraftState::Live => "live",
+                GraftState::Materialized { .. } => "materialized",
+                GraftState::Detached => "detached",
+            }
+        )
+    }
+}
+
+enum GraftState {
+    /// Reads go straight to the sealed source arena.
+    Live,
+    /// Copy-on-write fired: the subtree was copied into the host
+    /// arena; `(source arena stamp, source id) -> host id` lets
+    /// outstanding view handles follow the copy.
+    Materialized { map: HashMap<(u64, NodeId), NodeId> },
+    /// The grafted child was detached from its host (XUF `delete`).
+    Detached,
+}
+
+/// Where a graft view came from: the graft use plus the host slot, so
+/// a handle inside a grafted region can answer parent/root/identity
+/// questions as if it were a private copy. `host_link` chains when the
+/// host region is itself reached through a graft.
+#[derive(Debug)]
+struct GraftLink {
+    ctx: Rc<GraftCtx>,
+    host_arena: SharedArena,
+    host_id: NodeId,
+    host_link: Option<Rc<GraftLink>>,
+}
+
 #[derive(Debug, Clone)]
 enum NodeBody {
     Document {
-        children: Vec<NodeId>,
+        children: Vec<ChildEntry>,
     },
     Element {
         name: QName,
         attrs: Vec<NodeId>,
-        children: Vec<NodeId>,
+        children: Vec<ChildEntry>,
         /// Namespace declarations written on this element
         /// (prefix → URI; empty prefix = default namespace).
-        ns_decls: Vec<(String, String)>,
+        ns_decls: Vec<(crate::intern::Symbol, crate::intern::Symbol)>,
     },
     Attribute {
         name: QName,
-        value: String,
+        value: Rc<str>,
     },
     Text {
-        content: String,
+        content: Rc<str>,
     },
     Comment {
-        content: String,
+        content: Rc<str>,
     },
     Pi {
         target: String,
-        content: String,
+        content: Rc<str>,
     },
 }
 
@@ -90,6 +174,12 @@ static ARENA_STAMP: AtomicU64 = AtomicU64::new(1);
 pub struct NodeArena {
     stamp: u64,
     nodes: Vec<NodeData>,
+    /// Once sealed, the arena's structure is shared by reference into
+    /// other trees and must be treated as immutable.
+    sealed: bool,
+    /// Lazily memoized subtree sizes (node count incl. attributes),
+    /// computed on sealed arenas for graft accounting. 0 = unknown.
+    sizes: Vec<u32>,
 }
 
 /// Shared, interiorly mutable arena pointer.
@@ -98,10 +188,7 @@ pub type SharedArena = Rc<RefCell<NodeArena>>;
 impl NodeArena {
     /// Create a fresh arena with a globally unique stamp.
     pub fn new() -> SharedArena {
-        Rc::new(RefCell::new(NodeArena {
-            stamp: ARENA_STAMP.fetch_add(1, AtomicOrdering::Relaxed),
-            nodes: Vec::new(),
-        }))
+        Rc::new(RefCell::new(NodeArena::default()))
     }
 
     /// The arena's globally unique creation stamp.
@@ -119,7 +206,19 @@ impl NodeArena {
         self.nodes.is_empty()
     }
 
+    /// Whether the arena has been sealed (shared by reference).
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Seal the arena: its structure is about to be shared by
+    /// reference and must no longer be treated as private.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
     fn alloc(&mut self, parent: Option<NodeId>, body: NodeBody) -> NodeId {
+        count_node_built();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeData { parent, body });
         id
@@ -139,39 +238,119 @@ impl Default for NodeArena {
         NodeArena {
             stamp: ARENA_STAMP.fetch_add(1, AtomicOrdering::Relaxed),
             nodes: Vec::new(),
+            sealed: false,
+            sizes: Vec::new(),
         }
     }
 }
 
-/// A reference to a node: shared arena + id. Cloning is cheap.
+/// Deep size (node records incl. attributes) of the subtree at `id`,
+/// following grafts; memoized per arena. Only meaningful on sealed
+/// arenas (the memo assumes a frozen structure).
+fn subtree_size(arena: &SharedArena, id: NodeId) -> u64 {
+    {
+        let a = arena.borrow();
+        if let Some(&s) = a.sizes.get(id.0 as usize) {
+            if s != 0 {
+                return u64::from(s);
+            }
+        }
+    }
+    let (attrs, entries) = {
+        let a = arena.borrow();
+        match &a.data(id).body {
+            NodeBody::Document { children } => (0u64, children.clone()),
+            NodeBody::Element { attrs, children, .. } => {
+                (attrs.len() as u64, children.clone())
+            }
+            _ => (0, Vec::new()),
+        }
+    };
+    let mut total = 1 + attrs;
+    for e in &entries {
+        total += match e {
+            ChildEntry::Local(c) => subtree_size(arena, *c),
+            ChildEntry::Graft(ctx) => subtree_size(&ctx.sub, ctx.root),
+        };
+    }
+    let mut a = arena.borrow_mut();
+    let idx = id.0 as usize;
+    if a.sizes.len() <= idx {
+        a.sizes.resize(idx + 1, 0);
+    }
+    a.sizes[idx] = u32::try_from(total).unwrap_or(u32::MAX);
+    total
+}
+
+/// A reference to a node: shared arena + id, plus (for nodes reached
+/// through a graft) the chain of graft links that situates the view in
+/// its host tree. Cloning is cheap.
 #[derive(Clone)]
 pub struct NodeHandle {
     arena: SharedArena,
     id: NodeId,
+    link: Option<Rc<GraftLink>>,
 }
 
 impl fmt::Debug for NodeHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "NodeHandle({:?}@arena{})",
+            "NodeHandle({:?}@arena{}{})",
             self.id,
-            self.arena.borrow().stamp
+            self.arena.borrow().stamp,
+            if self.link.is_some() { " via graft" } else { "" }
         )
+    }
+}
+
+fn chains_eq(a: &Option<Rc<GraftLink>>, b: &Option<Rc<GraftLink>>) -> bool {
+    let (mut a, mut b) = (a, b);
+    loop {
+        match (a, b) {
+            (None, None) => return true,
+            (Some(x), Some(y)) => {
+                if !Rc::ptr_eq(&x.ctx, &y.ctx) {
+                    return false;
+                }
+                a = &x.host_link;
+                b = &y.host_link;
+            }
+            _ => return false,
+        }
     }
 }
 
 impl PartialEq for NodeHandle {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.arena, &other.arena) && self.id == other.id
+        match (self.resolve_if_moved(), other.resolve_if_moved()) {
+            (None, None) => {
+                Rc::ptr_eq(&self.arena, &other.arena)
+                    && self.id == other.id
+                    && chains_eq(&self.link, &other.link)
+            }
+            (a, b) => {
+                let a = a.unwrap_or_else(|| self.clone());
+                let b = b.unwrap_or_else(|| other.clone());
+                a == b
+            }
+        }
     }
 }
 impl Eq for NodeHandle {}
 
 impl std::hash::Hash for NodeHandle {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.hash(state);
+        }
         (Rc::as_ptr(&self.arena) as usize).hash(state);
         self.id.hash(state);
+        let mut l = &self.link;
+        while let Some(x) = l {
+            (Rc::as_ptr(&x.ctx) as usize).hash(state);
+            l = &x.host_link;
+        }
     }
 }
 
@@ -188,7 +367,7 @@ enum PathStep {
 impl NodeHandle {
     /// Construct a handle (mostly for internal/builder use).
     pub fn new(arena: SharedArena, id: NodeId) -> NodeHandle {
-        NodeHandle { arena, id }
+        NodeHandle { arena, id, link: None }
     }
 
     /// The node's arena.
@@ -201,13 +380,29 @@ impl NodeHandle {
         self.id
     }
 
+    /// Seal this node's arena: shared by reference from now on.
+    pub fn seal(&self) {
+        self.arena.borrow_mut().sealed = true;
+    }
+
+    /// Whether this node's arena is sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.arena.borrow().sealed
+    }
+
+    /// Whether this handle was reached through a graft (a shared
+    /// subtree viewed inside a host tree).
+    pub fn is_graft_view(&self) -> bool {
+        self.link.is_some()
+    }
+
     /// Create a new document node in a fresh arena.
     pub fn new_document() -> NodeHandle {
         let arena = NodeArena::new();
         let id = arena
             .borrow_mut()
             .alloc(None, NodeBody::Document { children: Vec::new() });
-        NodeHandle { arena, id }
+        NodeHandle { arena, id, link: None }
     }
 
     /// Create a detached element node in the given arena.
@@ -221,7 +416,7 @@ impl NodeHandle {
                 ns_decls: Vec::new(),
             },
         );
-        NodeHandle { arena: arena.clone(), id }
+        NodeHandle { arena: arena.clone(), id, link: None }
     }
 
     /// Create a detached element in a fresh arena.
@@ -234,41 +429,67 @@ impl NodeHandle {
     pub fn new_attribute(
         arena: &SharedArena,
         name: QName,
-        value: impl Into<String>,
+        value: impl Into<Rc<str>>,
     ) -> NodeHandle {
         let id = arena
             .borrow_mut()
             .alloc(None, NodeBody::Attribute { name, value: value.into() });
-        NodeHandle { arena: arena.clone(), id }
+        NodeHandle { arena: arena.clone(), id, link: None }
     }
 
     /// Create a detached text node.
-    pub fn new_text(arena: &SharedArena, content: impl Into<String>) -> NodeHandle {
+    pub fn new_text(arena: &SharedArena, content: impl Into<Rc<str>>) -> NodeHandle {
         let id = arena
             .borrow_mut()
             .alloc(None, NodeBody::Text { content: content.into() });
-        NodeHandle { arena: arena.clone(), id }
+        NodeHandle { arena: arena.clone(), id, link: None }
     }
 
     /// Create a detached comment node.
-    pub fn new_comment(arena: &SharedArena, content: impl Into<String>) -> NodeHandle {
+    pub fn new_comment(arena: &SharedArena, content: impl Into<Rc<str>>) -> NodeHandle {
         let id = arena
             .borrow_mut()
             .alloc(None, NodeBody::Comment { content: content.into() });
-        NodeHandle { arena: arena.clone(), id }
+        NodeHandle { arena: arena.clone(), id, link: None }
     }
 
     /// Create a detached processing-instruction node.
     pub fn new_pi(
         arena: &SharedArena,
         target: impl Into<String>,
-        content: impl Into<String>,
+        content: impl Into<Rc<str>>,
     ) -> NodeHandle {
         let id = arena.borrow_mut().alloc(
             None,
             NodeBody::Pi { target: target.into(), content: content.into() },
         );
-        NodeHandle { arena: arena.clone(), id }
+        NodeHandle { arena: arena.clone(), id, link: None }
+    }
+
+    /// If the outermost graft this view goes through has been
+    /// materialized (copy-on-write fired), return the handle of the
+    /// materialized copy in the host arena; `None` when the view is
+    /// still direct.
+    fn resolve_if_moved(&self) -> Option<NodeHandle> {
+        let link = self.link.as_ref()?;
+        let mut outer = link;
+        while let Some(next) = &outer.host_link {
+            outer = next;
+        }
+        let mapped = match &*outer.ctx.state.borrow() {
+            GraftState::Materialized { map } => {
+                let stamp = self.arena.borrow().stamp;
+                map.get(&(stamp, self.id)).copied()
+            }
+            _ => None,
+        }?;
+        let h = NodeHandle {
+            arena: outer.host_arena.clone(),
+            id: mapped,
+            link: outer.host_link.clone(),
+        };
+        // The host region could itself have moved since; chase it.
+        Some(h.resolve_if_moved().unwrap_or(h))
     }
 
     fn with<R>(&self, f: impl FnOnce(&NodeData) -> R) -> R {
@@ -278,6 +499,9 @@ impl NodeHandle {
 
     /// The node kind.
     pub fn kind(&self) -> NodeKind {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.kind();
+        }
         self.with(|d| match d.body {
             NodeBody::Document { .. } => NodeKind::Document,
             NodeBody::Element { .. } => NodeKind::Element,
@@ -291,42 +515,97 @@ impl NodeHandle {
     /// The node name (elements and attributes; PI target is exposed as
     /// a no-namespace QName).
     pub fn name(&self) -> Option<QName> {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.name();
+        }
         self.with(|d| match &d.body {
             NodeBody::Element { name, .. } | NodeBody::Attribute { name, .. } => {
                 Some(name.clone())
             }
-            NodeBody::Pi { target, .. } => Some(QName::new(target.clone())),
+            NodeBody::Pi { target, .. } => Some(QName::new(target.as_str())),
             _ => None,
         })
     }
 
-    /// Parent node, if attached.
+    /// Parent node, if attached. At a graft root the parent is the
+    /// host element the subtree was grafted into.
     pub fn parent(&self) -> Option<NodeHandle> {
-        self.with(|d| d.parent)
-            .map(|p| NodeHandle { arena: self.arena.clone(), id: p })
+        if let Some(h) = self.resolve_if_moved() {
+            return h.parent();
+        }
+        if let Some(link) = &self.link {
+            if self.id == link.ctx.root && Rc::ptr_eq(&self.arena, &link.ctx.sub) {
+                return match &*link.ctx.state.borrow() {
+                    GraftState::Live => Some(NodeHandle {
+                        arena: link.host_arena.clone(),
+                        id: link.host_id,
+                        link: link.host_link.clone(),
+                    }),
+                    // Detached from the host; Materialized is handled
+                    // by resolve_if_moved above.
+                    _ => None,
+                };
+            }
+        }
+        self.with(|d| d.parent).map(|p| NodeHandle {
+            arena: self.arena.clone(),
+            id: p,
+            link: self.link.clone(),
+        })
     }
 
-    /// Child nodes in order (document and element nodes).
-    pub fn children(&self) -> Vec<NodeHandle> {
+    fn entry_handle(&self, e: &ChildEntry) -> NodeHandle {
+        match e {
+            ChildEntry::Local(id) => NodeHandle {
+                arena: self.arena.clone(),
+                id: *id,
+                link: self.link.clone(),
+            },
+            ChildEntry::Graft(ctx) => NodeHandle {
+                arena: ctx.sub.clone(),
+                id: ctx.root,
+                link: Some(Rc::new(GraftLink {
+                    ctx: ctx.clone(),
+                    host_arena: self.arena.clone(),
+                    host_id: self.id,
+                    host_link: self.link.clone(),
+                })),
+            },
+        }
+    }
+
+    fn entries(&self) -> Vec<ChildEntry> {
         self.with(|d| match &d.body {
             NodeBody::Document { children } | NodeBody::Element { children, .. } => {
                 children.clone()
             }
             _ => Vec::new(),
         })
-        .into_iter()
-        .map(|id| NodeHandle { arena: self.arena.clone(), id })
-        .collect()
+    }
+
+    /// Child nodes in order (document and element nodes).
+    pub fn children(&self) -> Vec<NodeHandle> {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.children();
+        }
+        self.entries().iter().map(|e| self.entry_handle(e)).collect()
     }
 
     /// Attribute nodes in order (element nodes).
     pub fn attributes(&self) -> Vec<NodeHandle> {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.attributes();
+        }
         self.with(|d| match &d.body {
             NodeBody::Element { attrs, .. } => attrs.clone(),
             _ => Vec::new(),
         })
         .into_iter()
-        .map(|id| NodeHandle { arena: self.arena.clone(), id })
+        .map(|id| NodeHandle {
+            arena: self.arena.clone(),
+            id,
+            link: self.link.clone(),
+        })
         .collect()
     }
 
@@ -339,6 +618,14 @@ impl NodeHandle {
 
     /// The attribute's or text-ish node's own content string.
     pub fn content(&self) -> Option<String> {
+        self.content_shared().map(|rc| rc.as_ref().to_string())
+    }
+
+    /// Zero-copy access to an attribute's or text-ish node's content.
+    pub fn content_shared(&self) -> Option<Rc<str>> {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.content_shared();
+        }
         self.with(|d| match &d.body {
             NodeBody::Attribute { value, .. } => Some(value.clone()),
             NodeBody::Text { content }
@@ -349,7 +636,10 @@ impl NodeHandle {
     }
 
     /// Namespace declarations written on this element.
-    pub fn ns_decls(&self) -> Vec<(String, String)> {
+    pub fn ns_decls(&self) -> Vec<(crate::intern::Symbol, crate::intern::Symbol)> {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.ns_decls();
+        }
         self.with(|d| match &d.body {
             NodeBody::Element { ns_decls, .. } => ns_decls.clone(),
             _ => Vec::new(),
@@ -357,9 +647,14 @@ impl NodeHandle {
     }
 
     /// Add a namespace declaration to an element.
-    pub fn add_ns_decl(&self, prefix: impl Into<String>, uri: impl Into<String>) {
-        let mut arena = self.arena.borrow_mut();
-        if let NodeBody::Element { ns_decls, .. } = &mut arena.data_mut(self.id).body {
+    pub fn add_ns_decl(
+        &self,
+        prefix: impl Into<crate::intern::Symbol>,
+        uri: impl Into<crate::intern::Symbol>,
+    ) {
+        let me = self.ensure_local();
+        let mut arena = me.arena.borrow_mut();
+        if let NodeBody::Element { ns_decls, .. } = &mut arena.data_mut(me.id).body {
             ns_decls.push((prefix.into(), uri.into()));
         }
     }
@@ -369,6 +664,12 @@ impl NodeHandle {
     pub fn string_value(&self) -> String {
         match self.kind() {
             NodeKind::Document | NodeKind::Element => {
+                // Fast path: the dominant `<e>text</e>` shape shares
+                // the text's Rc<str> straight out, skipping the
+                // recursive collector.
+                if let Some(t) = self.single_text_content() {
+                    return t.as_ref().to_string();
+                }
                 let mut out = String::new();
                 self.collect_text(&mut out);
                 out
@@ -377,10 +678,37 @@ impl NodeHandle {
         }
     }
 
+    /// The single text child's shared content, if this element's
+    /// entire content is exactly one local text node.
+    fn single_text_content(&self) -> Option<Rc<str>> {
+        if let Some(h) = self.resolve_if_moved() {
+            return h.single_text_content();
+        }
+        let a = self.arena.borrow();
+        let children = match &a.data(self.id).body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                children
+            }
+            _ => return None,
+        };
+        if children.len() != 1 {
+            return None;
+        }
+        let ChildEntry::Local(c) = &children[0] else { return None };
+        match &a.data(*c).body {
+            NodeBody::Text { content } => Some(content.clone()),
+            _ => None,
+        }
+    }
+
     fn collect_text(&self, out: &mut String) {
         for c in self.children() {
             match c.kind() {
-                NodeKind::Text => out.push_str(&c.content().unwrap_or_default()),
+                NodeKind::Text => {
+                    if let Some(t) = c.content_shared() {
+                        out.push_str(&t);
+                    }
+                }
                 NodeKind::Element => c.collect_text(out),
                 _ => {}
             }
@@ -393,9 +721,13 @@ impl NodeHandle {
         AtomicValue::Untyped(self.string_value())
     }
 
-    /// The root of the tree containing this node.
+    /// The root of the tree containing this node (following graft
+    /// links up into the host tree).
     pub fn root(&self) -> NodeHandle {
-        let mut cur = self.clone();
+        let mut cur = match self.resolve_if_moved() {
+            Some(h) => h,
+            None => self.clone(),
+        };
         while let Some(p) = cur.parent() {
             cur = p;
         }
@@ -464,7 +796,10 @@ impl NodeHandle {
     /// Structural path from the root, for document-order comparison.
     fn path(&self) -> Vec<PathStep> {
         let mut steps = Vec::new();
-        let mut cur = self.clone();
+        let mut cur = match self.resolve_if_moved() {
+            Some(h) => h,
+            None => self.clone(),
+        };
         while let Some(p) = cur.parent() {
             let step = if cur.kind() == NodeKind::Attribute {
                 let idx = p
@@ -488,25 +823,243 @@ impl NodeHandle {
         steps
     }
 
-    /// Total document order: within one arena, roots are ordered by id
-    /// and nodes by (root, path); across arenas, by arena stamp.
+    /// Total document order: within one tree, ancestors precede
+    /// descendants and siblings compare by position (through grafts);
+    /// across trees, roots give a stable arbitrary order by (arena
+    /// stamp, root id) — a root's arena is the host arena even when
+    /// parts of the tree are grafted from elsewhere.
     pub fn document_order(&self, other: &NodeHandle) -> std::cmp::Ordering {
         if self == other {
             return std::cmp::Ordering::Equal;
         }
-        let (sa, sb) = (self.arena.borrow().stamp, other.arena.borrow().stamp);
-        if sa != sb {
-            return sa.cmp(&sb);
-        }
         let (ra, rb) = (self.root(), other.root());
-        if ra != rb {
-            return ra.id.cmp(&rb.id);
+        if ra == rb {
+            return self.path().cmp(&other.path());
         }
-        // Same tree: ancestors precede descendants; otherwise compare
-        // the first differing path step.
-        self.path().cmp(&other.path())
+        let (sa, sb) = (ra.arena.borrow().stamp, rb.arena.borrow().stamp);
+        if sa != sb {
+            sa.cmp(&sb)
+        } else {
+            ra.id.cmp(&rb.id)
+        }
     }
 
+    // ------------------------------------------------------------------
+    // Grafting (structural sharing) internals.
+    // ------------------------------------------------------------------
+
+    /// Whether this element can be adopted by reference into `target`
+    /// without a deep copy: a different arena that is either already
+    /// sealed (source caches, previously shared trees) or holds this
+    /// node as a detached root (a freshly constructed tree, sealed on
+    /// share).
+    pub fn graftable_into(&self, target: &SharedArena) -> bool {
+        let me = match self.resolve_if_moved() {
+            Some(h) => h,
+            None => self.clone(),
+        };
+        if me.kind() != NodeKind::Element || Rc::ptr_eq(&me.arena, target) {
+            return false;
+        }
+        if me.link.is_some() {
+            // A view into a grafted (hence sealed) subtree.
+            return me.arena.borrow().sealed;
+        }
+        let a = me.arena.borrow();
+        a.sealed || a.data(me.id).parent.is_none()
+    }
+
+    /// Adopt `sub_root`'s subtree as this node's last child **by
+    /// reference**: no copy, the source arena is sealed and shared.
+    /// Returns the graft view handle (the new logical child).
+    pub fn graft_child(&self, sub_root: &NodeHandle) -> XdmResult<NodeHandle> {
+        let me = self.ensure_local();
+        match me.kind() {
+            NodeKind::Document | NodeKind::Element => {}
+            k => {
+                return Err(XdmError::new(
+                    ErrorCode::XUTY0008,
+                    format!("cannot graft child into {k:?} node"),
+                ))
+            }
+        }
+        let sub = match sub_root.resolve_if_moved() {
+            Some(h) => h,
+            None => sub_root.clone(),
+        };
+        if sub.kind() != NodeKind::Element {
+            return Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "graft_child requires an element",
+            ));
+        }
+        if Rc::ptr_eq(&me.arena, &sub.arena) {
+            return Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "graft_child requires a cross-arena source",
+            ));
+        }
+        if me.arena.borrow().sealed {
+            return Err(XdmError::new(
+                ErrorCode::XUTY0008,
+                "graft host arena is sealed",
+            ));
+        }
+        sub.arena.borrow_mut().sealed = true;
+        let avoided = subtree_size(&sub.arena, sub.id);
+        count_graft(avoided);
+        let ctx = Rc::new(GraftCtx {
+            sub: sub.arena.clone(),
+            root: sub.id,
+            state: RefCell::new(GraftState::Live),
+        });
+        {
+            let mut arena = me.arena.borrow_mut();
+            match &mut arena.data_mut(me.id).body {
+                NodeBody::Document { children }
+                | NodeBody::Element { children, .. } => {
+                    children.push(ChildEntry::Graft(ctx.clone()))
+                }
+                _ => unreachable!("kind checked above"),
+            }
+        }
+        let link = Rc::new(GraftLink {
+            ctx,
+            host_arena: me.arena.clone(),
+            host_id: me.id,
+            host_link: me.link.clone(),
+        });
+        Ok(NodeHandle { arena: sub.arena, id: sub.id, link: Some(link) })
+    }
+
+    /// Resolve any materialized graft, then — if the handle still views
+    /// a live grafted region — fire copy-on-write: materialize the
+    /// outermost graft into its host arena and return the local copy.
+    fn ensure_local(&self) -> NodeHandle {
+        let me = match self.resolve_if_moved() {
+            Some(h) => h,
+            None => self.clone(),
+        };
+        let Some(link) = me.link.clone() else { return me };
+        let mut outer = link;
+        while let Some(next) = outer.host_link.clone() {
+            outer = next;
+        }
+        materialize(&outer.ctx, &outer.host_arena, outer.host_id);
+        match me.resolve_if_moved() {
+            Some(h) => h.ensure_local(),
+            None => me,
+        }
+    }
+}
+
+/// Copy-on-write: replace the graft entry under `(host_arena,
+/// host_id)` with a private deep copy, recording the id map so
+/// outstanding view handles follow the copy.
+fn materialize(ctx: &Rc<GraftCtx>, host_arena: &SharedArena, host_id: NodeId) {
+    if !matches!(&*ctx.state.borrow(), GraftState::Live) {
+        return;
+    }
+    count_graft_cow();
+    let mut map = HashMap::new();
+    let new_root = copy_subtree_recording(&ctx.sub, ctx.root, host_arena, &mut map);
+    {
+        let mut host = host_arena.borrow_mut();
+        host.data_mut(new_root).parent = Some(host_id);
+        match &mut host.data_mut(host_id).body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                for e in children.iter_mut() {
+                    let replace = matches!(e, ChildEntry::Graft(c) if Rc::ptr_eq(c, ctx));
+                    if replace {
+                        *e = ChildEntry::Local(new_root);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    *ctx.state.borrow_mut() = GraftState::Materialized { map };
+}
+
+/// Raw deep copy of `(src, id)` into `target`, following nested graft
+/// entries, recording `(source stamp, source id) -> new id` for every
+/// copied node.
+fn copy_subtree_recording(
+    src: &SharedArena,
+    id: NodeId,
+    target: &SharedArena,
+    map: &mut HashMap<(u64, NodeId), NodeId>,
+) -> NodeId {
+    let (stamp, body) = {
+        let a = src.borrow();
+        (a.stamp, a.data(id).body.clone())
+    };
+    match body {
+        NodeBody::Element { name, attrs, children, ns_decls } => {
+            let nid = target.borrow_mut().alloc(
+                None,
+                NodeBody::Element {
+                    name,
+                    attrs: Vec::new(),
+                    children: Vec::new(),
+                    ns_decls,
+                },
+            );
+            map.insert((stamp, id), nid);
+            for a in attrs {
+                let na = copy_subtree_recording(src, a, target, map);
+                let mut t = target.borrow_mut();
+                t.data_mut(na).parent = Some(nid);
+                if let NodeBody::Element { attrs, .. } = &mut t.data_mut(nid).body {
+                    attrs.push(na);
+                }
+            }
+            copy_entries(src, children, target, nid, map);
+            nid
+        }
+        NodeBody::Document { children } => {
+            let nid = target
+                .borrow_mut()
+                .alloc(None, NodeBody::Document { children: Vec::new() });
+            map.insert((stamp, id), nid);
+            copy_entries(src, children, target, nid, map);
+            nid
+        }
+        leaf => {
+            let nid = target.borrow_mut().alloc(None, leaf);
+            map.insert((stamp, id), nid);
+            nid
+        }
+    }
+}
+
+fn copy_entries(
+    src: &SharedArena,
+    entries: Vec<ChildEntry>,
+    target: &SharedArena,
+    parent: NodeId,
+    map: &mut HashMap<(u64, NodeId), NodeId>,
+) {
+    for e in entries {
+        let nc = match e {
+            ChildEntry::Local(c) => copy_subtree_recording(src, c, target, map),
+            ChildEntry::Graft(ctx) => {
+                copy_subtree_recording(&ctx.sub, ctx.root, target, map)
+            }
+        };
+        let mut t = target.borrow_mut();
+        t.data_mut(nc).parent = Some(parent);
+        match &mut t.data_mut(parent).body {
+            NodeBody::Document { children } | NodeBody::Element { children, .. } => {
+                children.push(ChildEntry::Local(nc))
+            }
+            _ => {}
+        }
+    }
+}
+
+impl NodeHandle {
     // ------------------------------------------------------------------
     // Mutation primitives (builders + XQuery Update Facility).
     // ------------------------------------------------------------------
@@ -518,7 +1071,7 @@ impl NodeHandle {
     /// Import `node` into this handle's arena if needed (deep copy);
     /// returns a handle in this arena.
     pub fn import(&self, node: &NodeHandle) -> NodeHandle {
-        if self.same_arena(node) {
+        if self.same_arena(node) && node.link.is_none() {
             node.clone()
         } else {
             node.deep_copy_into(&self.arena)
@@ -532,7 +1085,7 @@ impl NodeHandle {
             NodeKind::Document => {
                 let body = NodeBody::Document { children: Vec::new() };
                 let id = target.borrow_mut().alloc(None, body);
-                let copy = NodeHandle { arena: target.clone(), id };
+                let copy = NodeHandle::new(target.clone(), id);
                 for c in self.children() {
                     let cc = c.deep_copy_into(target);
                     copy.push_child_raw(&cc);
@@ -549,7 +1102,7 @@ impl NodeHandle {
                     ns_decls,
                 };
                 let id = target.borrow_mut().alloc(None, body);
-                let copy = NodeHandle { arena: target.clone(), id };
+                let copy = NodeHandle::new(target.clone(), id);
                 for a in self.attributes() {
                     let ac = a.deep_copy_into(target);
                     copy.push_attribute_raw(&ac);
@@ -563,22 +1116,26 @@ impl NodeHandle {
             NodeKind::Attribute => NodeHandle::new_attribute(
                 target,
                 self.name().expect("attribute has name"),
-                self.content().unwrap_or_default(),
+                self.content_shared().unwrap_or_else(|| Rc::from("")),
             ),
-            NodeKind::Text => {
-                NodeHandle::new_text(target, self.content().unwrap_or_default())
-            }
-            NodeKind::Comment => {
-                NodeHandle::new_comment(target, self.content().unwrap_or_default())
-            }
+            NodeKind::Text => NodeHandle::new_text(
+                target,
+                self.content_shared().unwrap_or_else(|| Rc::from("")),
+            ),
+            NodeKind::Comment => NodeHandle::new_comment(
+                target,
+                self.content_shared().unwrap_or_else(|| Rc::from("")),
+            ),
             NodeKind::Pi => {
-                let (t, c) = self.with(|d| match &d.body {
-                    NodeBody::Pi { target, content } => {
-                        (target.clone(), content.clone())
-                    }
+                let t = self.with(|d| match &d.body {
+                    NodeBody::Pi { target, .. } => target.clone(),
                     _ => unreachable!(),
                 });
-                NodeHandle::new_pi(target, t, c)
+                NodeHandle::new_pi(
+                    target,
+                    t,
+                    self.content_shared().unwrap_or_else(|| Rc::from("")),
+                )
             }
         }
     }
@@ -592,11 +1149,12 @@ impl NodeHandle {
 
     fn push_child_raw(&self, child: &NodeHandle) {
         debug_assert!(self.same_arena(child));
+        debug_assert!(self.link.is_none() && child.link.is_none());
         let mut arena = self.arena.borrow_mut();
         arena.data_mut(child.id).parent = Some(self.id);
         match &mut arena.data_mut(self.id).body {
             NodeBody::Document { children } | NodeBody::Element { children, .. } => {
-                children.push(child.id)
+                children.push(ChildEntry::Local(child.id))
             }
             _ => panic!("push_child on leaf node"),
         }
@@ -615,7 +1173,8 @@ impl NodeHandle {
     /// Append a child, importing across arenas and merging adjacent
     /// text nodes (XDM: no two adjacent text siblings).
     pub fn append_child(&self, child: &NodeHandle) -> XdmResult<NodeHandle> {
-        match self.kind() {
+        let me = self.ensure_local();
+        match me.kind() {
             NodeKind::Document | NodeKind::Element => {}
             k => {
                 return Err(XdmError::new(
@@ -630,10 +1189,10 @@ impl NodeHandle {
                 "cannot append attribute as child",
             ));
         }
-        let child = self.import(child);
+        let child = me.import(child);
         // Merge adjacent text.
         if child.kind() == NodeKind::Text {
-            if let Some(last) = self.children().last() {
+            if let Some(last) = me.children().last() {
                 if last.kind() == NodeKind::Text {
                     let merged = format!(
                         "{}{}",
@@ -648,13 +1207,14 @@ impl NodeHandle {
                 return Ok(child);
             }
         }
-        self.push_child_raw(&child);
+        me.push_child_raw(&child);
         Ok(child)
     }
 
     /// Set or add an attribute on an element.
     pub fn set_attribute(&self, attr: &NodeHandle) -> XdmResult<NodeHandle> {
-        if self.kind() != NodeKind::Element {
+        let me = self.ensure_local();
+        if me.kind() != NodeKind::Element {
             return Err(XdmError::new(
                 ErrorCode::XUTY0008,
                 "attributes only on elements",
@@ -666,31 +1226,58 @@ impl NodeHandle {
                 "set_attribute requires an attribute node",
             ));
         }
-        let attr = self.import(attr);
+        let attr = me.import(attr);
         let name = attr.name().expect("attribute has name");
-        if let Some(existing) = self.attribute(&name) {
+        if let Some(existing) = me.attribute(&name) {
             existing.set_content(attr.content().unwrap_or_default());
             Ok(existing)
         } else {
-            self.push_attribute_raw(&attr);
+            me.push_attribute_raw(&attr);
             Ok(attr)
         }
     }
 
-    /// Detach this node from its parent (XUF `delete`).
+    /// Detach this node from its parent (XUF `delete`). Detaching a
+    /// grafted child removes the graft entry from its host without
+    /// copying; detaching *inside* a grafted region copies-on-write
+    /// first.
     pub fn detach(&self) {
-        let parent = self.with(|d| d.parent);
+        let me = match self.resolve_if_moved() {
+            Some(h) => h,
+            None => self.clone(),
+        };
+        if let Some(link) = &me.link {
+            if me.id == link.ctx.root && Rc::ptr_eq(&me.arena, &link.ctx.sub) {
+                {
+                    let mut host = link.host_arena.borrow_mut();
+                    match &mut host.data_mut(link.host_id).body {
+                        NodeBody::Document { children }
+                        | NodeBody::Element { children, .. } => children.retain(|e| {
+                            !matches!(e, ChildEntry::Graft(c) if Rc::ptr_eq(c, &link.ctx))
+                        }),
+                        _ => {}
+                    }
+                }
+                *link.ctx.state.borrow_mut() = GraftState::Detached;
+                return;
+            }
+            me.ensure_local().detach();
+            return;
+        }
+        let parent = me.with(|d| d.parent);
         let Some(pid) = parent else { return };
-        let mut arena = self.arena.borrow_mut();
+        let mut arena = me.arena.borrow_mut();
         match &mut arena.data_mut(pid).body {
-            NodeBody::Document { children } => children.retain(|c| *c != self.id),
+            NodeBody::Document { children } => {
+                children.retain(|e| !matches!(e, ChildEntry::Local(c) if *c == me.id))
+            }
             NodeBody::Element { children, attrs, .. } => {
-                children.retain(|c| *c != self.id);
-                attrs.retain(|a| *a != self.id);
+                children.retain(|e| !matches!(e, ChildEntry::Local(c) if *c == me.id));
+                attrs.retain(|a| *a != me.id);
             }
             _ => {}
         }
-        arena.data_mut(self.id).parent = None;
+        arena.data_mut(me.id).parent = None;
     }
 
     /// Insert `new` immediately before this node among its siblings
@@ -709,18 +1296,25 @@ impl NodeHandle {
         let parent = self.parent().ok_or_else(|| {
             XdmError::new(ErrorCode::XUTY0008, "target has no parent")
         })?;
+        // Mutating the sibling list of a node inside a grafted region
+        // copies the region first; the target's position is recomputed
+        // through the recorded id map afterwards.
+        let parent = parent.ensure_local();
+        let me = match self.resolve_if_moved() {
+            Some(h) => h,
+            None => self.clone(),
+        };
+        let pos = parent
+            .children()
+            .iter()
+            .position(|c| *c == me)
+            .ok_or_else(|| XdmError::new(ErrorCode::XUTY0008, "target not a child"))?;
         let new = parent.import(new);
-        let mut arena = self.arena.borrow_mut();
+        let mut arena = parent.arena.borrow_mut();
         arena.data_mut(new.id).parent = Some(parent.id);
         match &mut arena.data_mut(parent.id).body {
             NodeBody::Document { children } | NodeBody::Element { children, .. } => {
-                let pos = children
-                    .iter()
-                    .position(|c| *c == self.id)
-                    .ok_or_else(|| {
-                        XdmError::new(ErrorCode::XUTY0008, "target not a child")
-                    })?;
-                children.insert(pos + offset, new.id);
+                children.insert(pos + offset, ChildEntry::Local(new.id));
                 Ok(())
             }
             _ => Err(XdmError::new(ErrorCode::XUTY0008, "parent cannot hold children")),
@@ -729,7 +1323,8 @@ impl NodeHandle {
 
     /// Insert `new` as the first child (XUF `insert … as first into`).
     pub fn insert_first_child(&self, new: &NodeHandle) -> XdmResult<()> {
-        match self.kind() {
+        let me = self.ensure_local();
+        match me.kind() {
             NodeKind::Document | NodeKind::Element => {}
             _ => {
                 return Err(XdmError::new(
@@ -738,12 +1333,12 @@ impl NodeHandle {
                 ))
             }
         }
-        let new = self.import(new);
-        let mut arena = self.arena.borrow_mut();
-        arena.data_mut(new.id).parent = Some(self.id);
-        match &mut arena.data_mut(self.id).body {
+        let new = me.import(new);
+        let mut arena = me.arena.borrow_mut();
+        arena.data_mut(new.id).parent = Some(me.id);
+        match &mut arena.data_mut(me.id).body {
             NodeBody::Document { children } | NodeBody::Element { children, .. } => {
-                children.insert(0, new.id);
+                children.insert(0, ChildEntry::Local(new.id));
                 Ok(())
             }
             _ => unreachable!(),
@@ -786,12 +1381,13 @@ impl NodeHandle {
                 Ok(())
             }
             NodeKind::Element => {
-                for c in self.children() {
+                let me = self.ensure_local();
+                for c in me.children() {
                     c.detach();
                 }
                 if !value.is_empty() {
-                    let t = NodeHandle::new_text(&self.arena, value);
-                    self.push_child_raw(&t);
+                    let t = NodeHandle::new_text(&me.arena, value);
+                    me.push_child_raw(&t);
                 }
                 Ok(())
             }
@@ -804,8 +1400,9 @@ impl NodeHandle {
 
     /// Rename an element or attribute (XUF `rename`).
     pub fn rename(&self, new_name: QName) -> XdmResult<()> {
-        let mut arena = self.arena.borrow_mut();
-        match &mut arena.data_mut(self.id).body {
+        let me = self.ensure_local();
+        let mut arena = me.arena.borrow_mut();
+        match &mut arena.data_mut(me.id).body {
             NodeBody::Element { name, .. } | NodeBody::Attribute { name, .. } => {
                 *name = new_name;
                 Ok(())
@@ -818,12 +1415,13 @@ impl NodeHandle {
     }
 
     fn set_content(&self, value: String) {
-        let mut arena = self.arena.borrow_mut();
-        match &mut arena.data_mut(self.id).body {
-            NodeBody::Attribute { value: v, .. } => *v = value,
+        let me = self.ensure_local();
+        let mut arena = me.arena.borrow_mut();
+        match &mut arena.data_mut(me.id).body {
+            NodeBody::Attribute { value: v, .. } => *v = Rc::from(value),
             NodeBody::Text { content }
             | NodeBody::Comment { content }
-            | NodeBody::Pi { content, .. } => *content = value,
+            | NodeBody::Pi { content, .. } => *content = Rc::from(value),
             _ => {}
         }
     }
@@ -844,9 +1442,14 @@ impl NodeHandle {
                 if a_attrs.len() != b_attrs.len() {
                     return false;
                 }
-                let key = |n: &NodeHandle| n.name().map(|q| q.clark()).unwrap_or_default();
-                a_attrs.sort_by_key(key);
-                b_attrs.sort_by_key(key);
+                // Expanded-name sort without allocating clark strings.
+                let by_name = |x: &NodeHandle, y: &NodeHandle| match (x.name(), y.name())
+                {
+                    (Some(a), Some(b)) => a.cmp_expanded(&b),
+                    (a, b) => a.is_some().cmp(&b.is_some()),
+                };
+                a_attrs.sort_by(by_name);
+                b_attrs.sort_by(by_name);
                 if !a_attrs
                     .iter()
                     .zip(&b_attrs)
@@ -951,7 +1554,7 @@ mod tests {
             .descendants()
             .iter()
             .map(|n| match n.kind() {
-                NodeKind::Element => n.name().unwrap().local,
+                NodeKind::Element => n.name().unwrap().local.to_string(),
                 NodeKind::Text => format!("#{}", n.content().unwrap()),
                 _ => "?".into(),
             })
@@ -1107,7 +1710,7 @@ mod tests {
         let anc: Vec<_> = z
             .ancestors()
             .iter()
-            .map(|n| n.name().unwrap().local)
+            .map(|n| n.name().unwrap().local.clone())
             .collect();
         assert_eq!(anc, vec!["y", "root"]);
         assert_eq!(z.root(), root);
@@ -1121,5 +1724,196 @@ mod tests {
         assert_eq!(doc.kind(), NodeKind::Document);
         assert_eq!(e.root(), doc);
         assert_eq!(doc.children().len(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Grafting.
+    // ------------------------------------------------------------------
+
+    fn host_with_graft() -> (NodeHandle, NodeHandle, NodeHandle) {
+        // host <profile><local/></profile> grafting sample_tree's root.
+        let src = sample_tree();
+        let host = NodeHandle::root_element(QName::new("profile"));
+        let local = NodeHandle::new_element(host.arena(), QName::new("local"));
+        host.append_child(&local).unwrap();
+        let view = host.graft_child(&src).unwrap();
+        (host, src, view)
+    }
+
+    #[test]
+    fn graft_reads_like_a_copy() {
+        let (host, src, view) = host_with_graft();
+        assert!(src.is_sealed());
+        assert_eq!(host.children().len(), 2);
+        let g = &host.children()[1];
+        assert_eq!(*g, view);
+        assert_eq!(g.name().unwrap().local, "root");
+        assert_eq!(g.string_value(), "helloworld");
+        assert_eq!(g.children().len(), 2);
+        assert_eq!(g.attribute(&QName::new("a")).unwrap().content().unwrap(), "1");
+        // Parent axis walks into the host at the graft root.
+        assert_eq!(g.parent().unwrap(), host);
+        assert_eq!(g.children()[0].parent().unwrap(), *g);
+        assert_eq!(g.children()[0].root(), host);
+        // The source node itself still has no parent and its own root.
+        assert!(src.parent().is_none());
+        assert_eq!(src.root(), src);
+    }
+
+    #[test]
+    fn graft_view_has_distinct_identity() {
+        let (host, src, view) = host_with_graft();
+        // The view is a different logical node than the source…
+        assert_ne!(view, src);
+        // …and a second graft of the same source is different again.
+        let host2 = NodeHandle::root_element(QName::new("profile2"));
+        let view2 = host2.graft_child(&src).unwrap();
+        assert_ne!(view, view2);
+        // Stable identity across repeated navigation.
+        assert_eq!(host.children()[1], host.children()[1]);
+        assert!(view.deep_equal(&src));
+        assert!(view.deep_equal(&view2));
+    }
+
+    #[test]
+    fn graft_document_order_follows_host() {
+        let (host, _src, view) = host_with_graft();
+        let local = &host.children()[0];
+        assert_eq!(host.document_order(local), std::cmp::Ordering::Less);
+        assert_eq!(local.document_order(&view), std::cmp::Ordering::Less);
+        let inner = &view.children()[0]; // <x>
+        assert_eq!(view.document_order(inner), std::cmp::Ordering::Less);
+        assert_eq!(inner.document_order(local), std::cmp::Ordering::Greater);
+        // Following-sibling across the graft boundary.
+        assert_eq!(local.following_siblings(), vec![view.clone()]);
+        assert_eq!(view.preceding_siblings(), vec![local.clone()]);
+    }
+
+    #[test]
+    fn graft_mutation_copies_on_write() {
+        let (host, src, view) = host_with_graft();
+        let stats0 = crate::intern::xdm_stats();
+        let x = view.children()[0].clone(); // <x>hello</x> through the graft
+        x.replace_value("changed").unwrap();
+        let stats1 = crate::intern::xdm_stats();
+        assert_eq!(stats1.graft_cow_materializations,
+                   stats0.graft_cow_materializations + 1);
+        // The host sees the change; the sealed source does not.
+        assert_eq!(host.string_value(), "changedworld");
+        assert_eq!(src.string_value(), "helloworld");
+        // Outstanding view handles follow the materialized copy.
+        assert_eq!(x.string_value(), "changed");
+        assert_eq!(view.string_value(), "changedworld");
+        assert_eq!(view.parent().unwrap(), host);
+        assert_eq!(x.parent().unwrap(), view);
+        // Identity of the view is stable across the materialization.
+        assert_eq!(host.children()[1], view);
+    }
+
+    #[test]
+    fn graft_rename_via_view() {
+        let (host, src, view) = host_with_graft();
+        view.rename(QName::new("renamed")).unwrap();
+        assert_eq!(host.children()[1].name().unwrap().local, "renamed");
+        assert_eq!(src.name().unwrap().local, "root");
+        assert_eq!(view.name().unwrap().local, "renamed");
+    }
+
+    #[test]
+    fn graft_detach_removes_without_copy() {
+        let (host, src, view) = host_with_graft();
+        let stats0 = crate::intern::xdm_stats();
+        view.detach();
+        assert_eq!(host.children().len(), 1);
+        assert!(view.parent().is_none());
+        assert_eq!(src.children().len(), 2); // source untouched
+        let stats1 = crate::intern::xdm_stats();
+        assert_eq!(stats1.graft_cow_materializations,
+                   stats0.graft_cow_materializations);
+    }
+
+    #[test]
+    fn graft_insert_around_grafted_child() {
+        let (host, _src, view) = host_with_graft();
+        let n = NodeHandle::new_element(host.arena(), QName::new("n"));
+        view.insert_before(&n).unwrap();
+        let names: Vec<_> = host
+            .children()
+            .iter()
+            .map(|c| c.name().unwrap().local)
+            .collect();
+        assert_eq!(names, vec!["local", "n", "root"]);
+    }
+
+    #[test]
+    fn graftable_conditions() {
+        let host = NodeHandle::root_element(QName::new("h"));
+        let src = sample_tree();
+        // Parentless cross-arena element: graftable.
+        assert!(src.graftable_into(host.arena()));
+        // Same arena: not graftable.
+        let sib = NodeHandle::new_element(host.arena(), QName::new("s"));
+        assert!(!sib.graftable_into(host.arena()));
+        // Attached child of an unsealed arena: not graftable…
+        let child = src.children()[0].clone();
+        assert!(!child.graftable_into(host.arena()));
+        // …until the arena is sealed.
+        src.seal();
+        assert!(child.graftable_into(host.arena()));
+        // Text node: never graftable.
+        let t = NodeHandle::new_text(src.arena(), "t");
+        assert!(!t.graftable_into(host.arena()));
+    }
+
+    #[test]
+    fn graft_attached_child_of_sealed_arena() {
+        let src = sample_tree();
+        src.seal();
+        let y = src.children()[1].clone(); // attached <y> inside the sealed tree
+        let host = NodeHandle::root_element(QName::new("h"));
+        let view = host.graft_child(&y).unwrap();
+        // Parent redirects to the host even though the source node has
+        // a raw parent in its own arena.
+        assert_eq!(view.parent().unwrap(), host);
+        assert_eq!(view.string_value(), "world");
+        assert_eq!(y.parent().unwrap(), src);
+    }
+
+    #[test]
+    fn graft_counters_account_avoided_copies() {
+        let src = sample_tree(); // 8 records: root + attr + x + text + y + z + text
+        let host = NodeHandle::root_element(QName::new("h"));
+        let s0 = crate::intern::xdm_stats();
+        host.graft_child(&src).unwrap();
+        let d = crate::intern::xdm_stats().since(&s0);
+        assert_eq!(d.subtrees_grafted, 1);
+        assert_eq!(d.deep_copy_nodes_avoided, 7);
+        assert_eq!(d.nodes_built, 0);
+    }
+
+    #[test]
+    fn nested_graft_reads_and_cow() {
+        // source -> grafted into mid; mid -> grafted into top.
+        let src = sample_tree();
+        let mid = NodeHandle::root_element(QName::new("mid"));
+        mid.graft_child(&src).unwrap();
+        let top = NodeHandle::root_element(QName::new("top"));
+        let mid_view = top.graft_child(&mid).unwrap();
+        assert_eq!(top.string_value(), "helloworld");
+        let deep = mid_view.children()[0].children()[0].clone(); // <x> via both grafts
+        assert_eq!(deep.root(), top);
+        deep.replace_value("X").unwrap();
+        assert_eq!(top.string_value(), "Xworld");
+        assert_eq!(mid.string_value(), "helloworld");
+        assert_eq!(src.string_value(), "helloworld");
+    }
+
+    #[test]
+    fn single_text_fast_path_matches_collector() {
+        let e = NodeHandle::root_element(QName::new("e"));
+        e.append_child(&NodeHandle::new_text(e.arena(), "only")).unwrap();
+        assert_eq!(e.string_value(), "only");
+        let empty = NodeHandle::root_element(QName::new("n"));
+        assert_eq!(empty.string_value(), "");
     }
 }

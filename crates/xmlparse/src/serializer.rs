@@ -85,7 +85,7 @@ fn write_node(
     out: &mut String,
     node: &NodeHandle,
     indent: Option<usize>,
-    declared: &mut HashSet<(String, String)>,
+    declared: &mut HashSet<(xdm::Symbol, xdm::Symbol)>,
 ) {
     match node.kind() {
         NodeKind::Document => {
@@ -110,7 +110,7 @@ fn write_node(
             out.push('<');
             out.push_str(&lex);
             // Namespace declarations recorded on this element.
-            let mut local_declared: Vec<(String, String)> = Vec::new();
+            let mut local_declared: Vec<(xdm::Symbol, xdm::Symbol)> = Vec::new();
             for (p, u) in node.ns_decls() {
                 let key = (p.clone(), u.clone());
                 if declared.contains(&key) {

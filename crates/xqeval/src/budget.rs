@@ -374,7 +374,7 @@ mod budget_tests {
     use super::*;
 
     fn code_of(e: &XdmError) -> String {
-        e.code.local.clone()
+        e.code.local.to_string()
     }
 
     #[test]

@@ -167,6 +167,18 @@ pub struct OptStats {
     pub budget_fuel: u64,
     /// Requests that failed with `aldsp:MEMORY_LIMIT`.
     pub budget_memory: u64,
+    /// XDM node records allocated (construction + materializing
+    /// copies) since the engine was created (or the counters reset).
+    pub nodes_built: u64,
+    /// Immutable subtrees adopted by reference ("grafted") into a
+    /// constructed element/document instead of being deep-copied.
+    pub subtrees_grafted: u64,
+    /// Node records the grafts above saved us from allocating (the
+    /// summed deep size of every grafted subtree).
+    pub deep_copy_nodes_avoided: u64,
+    /// Intern-table lookups that found an existing symbol (QName
+    /// parts and repeated text/attribute values share one allocation).
+    pub interned_hits: u64,
 }
 
 impl OptStats {
@@ -198,6 +210,10 @@ impl OptStats {
         self.budget_deadline += other.budget_deadline;
         self.budget_fuel += other.budget_fuel;
         self.budget_memory += other.budget_memory;
+        self.nodes_built += other.nodes_built;
+        self.subtrees_grafted += other.subtrees_grafted;
+        self.deep_copy_nodes_avoided += other.deep_copy_nodes_avoided;
+        self.interned_hits += other.interned_hits;
     }
 }
 
@@ -410,6 +426,19 @@ pub struct Engine {
     /// The budget of the request this engine is currently serving
     /// (installed per request by the serving pool or `xqsh` flags).
     budget: RefCell<Option<Arc<crate::budget::Budget>>>,
+    /// Whether element/document constructors may *graft* (adopt by
+    /// reference) already-materialized immutable subtrees instead of
+    /// deep-copying them. Shared (`Rc`) so the evaluator observes
+    /// toggles live; `XQSE_DISABLE_GRAFT=1` / [`Engine::set_graft`]
+    /// restore the copy-always baseline for the E16 ablation and the
+    /// CI kill-switch arm.
+    graft: Rc<Cell<bool>>,
+    /// Baseline snapshot of this thread's XDM construction counters,
+    /// taken at engine creation (and on [`Engine::reset_opt_stats`]).
+    /// [`Engine::opt_stats`] reports the delta since this baseline —
+    /// valid because each engine evaluates on exactly one thread (the
+    /// serving pool gives every worker a private engine).
+    xdm_base: Cell<xdm::XdmStats>,
 }
 
 /// Default prepared-plan cache capacity: enough for every distinct
@@ -461,6 +490,13 @@ impl Engine {
             budget_active: Cell::new(false),
             budget_raw: Cell::new(std::ptr::null()),
             budget: RefCell::new(None),
+            // `XQSE_DISABLE_GRAFT=1` restores deep-copying element
+            // construction everywhere — the E16 ablation and the
+            // zero-copy CI kill-switch arm.
+            graft: Rc::new(Cell::new(
+                !matches!(std::env::var("XQSE_DISABLE_GRAFT").as_deref(), Ok("1")),
+            )),
+            xdm_base: Cell::new(xdm::xdm_stats()),
         }
     }
 
@@ -724,6 +760,27 @@ impl Engine {
         self.join_rewrite.set(on);
     }
 
+    /// Whether element/document constructors may adopt (graft)
+    /// already-materialized immutable subtrees by reference instead of
+    /// deep-copying them. Independent of the umbrella optimize flag:
+    /// grafting is a construction-layer property, not a query rewrite,
+    /// and the dual-mode CI arms toggle it separately.
+    pub fn graft_enabled(&self) -> bool {
+        self.graft.get()
+    }
+
+    /// Toggle zero-copy subtree adoption (the E16 ablation and the
+    /// `XQSE_DISABLE_GRAFT=1` CI arm restore the copy-always
+    /// baseline through this).
+    pub fn set_graft(&self, on: bool) {
+        self.graft.set(on);
+    }
+
+    /// A shared handle on the graft flag (captured by the evaluator).
+    pub fn graft_handle(&self) -> Rc<Cell<bool>> {
+        self.graft.clone()
+    }
+
     /// Advertise a pushdown capability for a registered arity-0 read
     /// function.
     pub fn register_source_capability(&self, name: QName, cap: SourceCapability) {
@@ -791,6 +848,7 @@ impl Engine {
 
     /// Snapshot of the optimizer counters.
     pub fn opt_stats(&self) -> OptStats {
+        let xdm = xdm::xdm_stats().since(&self.xdm_base.get());
         OptStats {
             join_hits: self.opt.join_hits.get(),
             join_misses: self.opt.join_misses.get(),
@@ -816,6 +874,10 @@ impl Engine {
             budget_deadline: self.opt.budget_deadline.get(),
             budget_fuel: self.opt.budget_fuel.get(),
             budget_memory: self.opt.budget_memory.get(),
+            nodes_built: xdm.nodes_built,
+            subtrees_grafted: xdm.subtrees_grafted,
+            deep_copy_nodes_avoided: xdm.deep_copy_nodes_avoided,
+            interned_hits: xdm.interned_hits,
         }
     }
 
@@ -846,6 +908,7 @@ impl Engine {
         o.budget_deadline.set(0);
         o.budget_fuel.set(0);
         o.budget_memory.set(0);
+        self.xdm_base.set(xdm::xdm_stats());
     }
 
     /// Shared counter block for the evaluator and source closures.

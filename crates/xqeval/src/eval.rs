@@ -373,23 +373,30 @@ impl<'e> Evaluator<'e> {
                 self.call_function_inner(name, argv, env)
             }
             Expr::DirectElement(de) => {
-                // XDM allocation ceiling: each constructed tree
-                // charges the budget (coarse per-constructor units —
-                // the ceiling is a guard rail, not an allocator).
+                // XDM allocation ceiling: one admission unit up front,
+                // then the built tree settles at its real cost — one
+                // unit per node record allocated in the constructor's
+                // arena plus one pointer unit per grafted subtree
+                // (zero-copy adoption charges no per-node units; the
+                // nodes it shares were charged when first built).
                 self.engine.budget_charge_memory(1)?;
+                let before = xdm::xdm_stats();
                 let arena = NodeArena::new();
                 let node = self.build_direct_element(de, &arena, env)?;
+                self.settle_construction_memory(&arena, &before)?;
                 Ok(Sequence::one(Item::Node(node)))
             }
             Expr::ComputedElement(name, content) => {
                 self.engine.budget_charge_memory(1)?;
+                let before = xdm::xdm_stats();
                 let q = self.eval_name_expr(name, env, "element")?;
                 let arena = NodeArena::new();
                 let elem = NodeHandle::new_element(&arena, q);
                 if let Some(c) = content {
                     let seq = self.eval(c, env)?;
-                    assemble_content(&elem, &seq)?;
+                    assemble_content(&elem, &seq, self.engine.graft_enabled())?;
                 }
+                self.settle_construction_memory(&arena, &before)?;
                 Ok(Sequence::one(Item::Node(elem)))
             }
             Expr::ComputedAttribute(name, content) => {
@@ -436,9 +443,11 @@ impl<'e> Evaluator<'e> {
                 ))))
             }
             Expr::ComputedDocument(c) => {
+                let before = xdm::xdm_stats();
                 let seq = self.eval(c, env)?;
                 let doc = NodeHandle::new_document();
-                assemble_content(&doc, &seq)?;
+                assemble_content(&doc, &seq, self.engine.graft_enabled())?;
+                self.settle_construction_memory(doc.arena(), &before)?;
                 Ok(Sequence::one(Item::Node(doc)))
             }
             Expr::InstanceOf(e, ty) => {
@@ -1048,7 +1057,7 @@ impl<'e> Evaluator<'e> {
             if q.ns.is_some() {
                 return None;
             }
-            Some((q.local.clone(), steps.clone()))
+            Some((q.local.to_string(), steps.clone()))
         };
         let build = |col: String, steps: Vec<Step>, key: &'a Expr| -> Option<Pushdown<'a>> {
             if expr_refs_var(key, var) {
@@ -1403,6 +1412,27 @@ impl<'e> Evaluator<'e> {
         result
     }
 
+    /// Settle a constructor's memory charge after the tree is built:
+    /// every node record allocated in the constructor's own arena
+    /// beyond the root (the admission unit covered that), plus one
+    /// pointer unit per subtree grafted during the construction.
+    /// Coarse by design — nested constructors settle themselves and a
+    /// graft they perform may be counted once more here; the ceiling
+    /// is a guard rail, not an allocator.
+    fn settle_construction_memory(
+        &self,
+        arena: &SharedArena,
+        before: &xdm::XdmStats,
+    ) -> XdmResult<()> {
+        let grafts = xdm::xdm_stats().since(before).subtrees_grafted;
+        let local = (arena.borrow().len().saturating_sub(1)) as u64;
+        let units = local + grafts;
+        if units > 0 {
+            self.engine.budget_charge_memory(units)?;
+        }
+        Ok(())
+    }
+
     fn eval_name_expr(
         &self,
         name: &NameExpr,
@@ -1474,7 +1504,7 @@ impl<'e> Evaluator<'e> {
                 }
                 DirectContent::Expr(e) => {
                     let v = self.eval(e, env)?;
-                    assemble_content(&elem, &v)?;
+                    assemble_content(&elem, &v, self.engine.graft_enabled())?;
                 }
             }
         }
@@ -1814,7 +1844,7 @@ fn kind_test_matches(k: &KindTest, node: &NodeHandle) -> bool {
             node.kind() == NodeKind::Pi
                 && target
                     .as_ref()
-                    .is_none_or(|t| node.name().map(|q| q.local) == Some(t.clone()))
+                    .is_none_or(|t| node.name().is_some_and(|q| q.local == *t))
         }
     }
 }
@@ -1855,7 +1885,14 @@ fn space_joined(seq: &Sequence) -> String {
 /// (space-separated); nodes are copied; attribute nodes attach to the
 /// element (only before other content); document nodes contribute
 /// their children.
-fn assemble_content(parent: &NodeHandle, seq: &Sequence) -> XdmResult<()> {
+///
+/// With `graft` on, already-materialized element subtrees from other
+/// arenas are adopted **by reference** (zero-copy) when immutability
+/// can be guaranteed — the source is sealed on first share and any
+/// later mutation through the host copies on write. Observable
+/// semantics (serialization, axes, node identity of the constructed
+/// tree) are identical to the deep-copy path.
+fn assemble_content(parent: &NodeHandle, seq: &Sequence, graft: bool) -> XdmResult<()> {
     let arena = parent.arena().clone();
     let mut pending_text: Option<String> = None;
     let mut seen_non_attr = !parent.children().is_empty();
@@ -1886,14 +1923,22 @@ fn assemble_content(parent: &NodeHandle, seq: &Sequence) -> XdmResult<()> {
                     }
                     NodeKind::Document => {
                         for c in n.children() {
-                            let cc = copy_for_content(&c, &arena);
-                            parent.append_child(&cc)?;
+                            if graft && c.graftable_into(&arena) {
+                                parent.graft_child(&c)?;
+                            } else {
+                                let cc = copy_for_content(&c, &arena);
+                                parent.append_child(&cc)?;
+                            }
                         }
                         seen_non_attr = true;
                     }
                     _ => {
-                        let c = copy_for_content(n, &arena);
-                        parent.append_child(&c)?;
+                        if graft && n.graftable_into(&arena) {
+                            parent.graft_child(n)?;
+                        } else {
+                            let c = copy_for_content(n, &arena);
+                            parent.append_child(&c)?;
+                        }
                         seen_non_attr = true;
                     }
                 }

@@ -150,7 +150,7 @@ fn dispatch_fn(
                         if local == "name" {
                             q.lexical()
                         } else {
-                            q.local
+                            q.local.to_string()
                         }
                     }
                     None => String::new(),
@@ -162,7 +162,7 @@ fn dispatch_fn(
             match args[0].zero_or_one()? {
                 None => Ok(str_seq(String::new())),
                 Some(Item::Node(n)) => Ok(str_seq(
-                    n.name().and_then(|q| q.ns).unwrap_or_default(),
+                    n.name().and_then(|q| q.ns).map(String::from).unwrap_or_default(),
                 )),
                 Some(_) => Err(err(ErrorCode::XPTY0004, "expected a node")),
             }
@@ -583,21 +583,23 @@ fn dispatch_fn(
                 .ok_or_else(|| err(ErrorCode::FORG0001, format!("bad QName {lex:?}")))?;
             Ok(Sequence::one(Item::Atomic(AtomicValue::QName(QName {
                 prefix: q.prefix,
-                ns: if ns.is_empty() { None } else { Some(ns) },
+                ns: if ns.is_empty() { None } else { Some(ns.into()) },
                 local: q.local,
             }))))
         })(),
         ("local-name-from-QName", 1) => (|| {
             match opt_atomic(&args[0], local)? {
                 None => Ok(Sequence::empty()),
-                Some(AtomicValue::QName(q)) => Ok(str_seq(q.local)),
+                Some(AtomicValue::QName(q)) => Ok(str_seq(q.local.to_string())),
                 Some(_) => Err(err(ErrorCode::XPTY0004, "expected xs:QName")),
             }
         })(),
         ("namespace-uri-from-QName", 1) => (|| {
             match opt_atomic(&args[0], local)? {
                 None => Ok(Sequence::empty()),
-                Some(AtomicValue::QName(q)) => Ok(str_seq(q.ns.unwrap_or_default())),
+                Some(AtomicValue::QName(q)) => {
+                    Ok(str_seq(q.ns.map(String::from).unwrap_or_default()))
+                }
                 Some(_) => Err(err(ErrorCode::XPTY0004, "expected xs:QName")),
             }
         })(),

@@ -263,7 +263,7 @@ mod tests {
     }
 
     fn names(root: &NodeHandle) -> Vec<String> {
-        root.children().iter().map(|c| c.name().unwrap().local).collect()
+        root.children().iter().map(|c| c.name().unwrap().local.to_string()).collect()
     }
 
     #[test]

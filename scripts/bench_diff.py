@@ -9,7 +9,8 @@ compared:
 * timing columns (header ends in `_ms`, contains `(ms)`, or ends in
   `(µs)`): lower is better; a fresh value more than --warn-pct %
   *slower* than baseline is a (warn-level) regression -> exit 1.
-* throughput columns (header contains `qps`): higher is better; a
+* throughput columns (header contains `qps` or `nodes/s`): higher is
+  better; a
   fresh value more than --warn-pct % *lower* is a warn-level
   regression, and a drop beyond --qps-fail-pct % on a `pool-4` row
   (the E14 4-worker serving-pool arm) is a HARD failure -> exit 2.
@@ -30,7 +31,11 @@ def timing_columns(header):
 
 
 def qps_columns(header):
-    return [i for i, h in enumerate(header) if "qps" in h.lower()]
+    return [
+        i
+        for i, h in enumerate(header)
+        if "qps" in h.lower() or "nodes/s" in h.lower()
+    ]
 
 
 def main(argv):

@@ -47,6 +47,15 @@ echo "==> XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chao
 XQSE_DISABLE_BATCH=1 cargo test -q $NET --test conformance --test chaos \
     --test use_cases --test figure3
 
+# Zero-copy XDM construction has its own kill switch
+# (XQSE_DISABLE_GRAFT=1 == Engine::set_graft(false)) that restores
+# deep-copy element construction while leaving interning and the other
+# optimizer layers on. Grafted and copied construction must be
+# observably identical, so: same semantic suites a third time.
+echo "==> XQSE_DISABLE_GRAFT=1 cargo test -q $NET --test conformance --test chaos --test use_cases --test figure3"
+XQSE_DISABLE_GRAFT=1 cargo test -q $NET --test conformance --test chaos \
+    --test use_cases --test figure3
+
 # Crash-recovery chaos matrix: the journaled-2PC acceptance gate.
 # Crashes the coordinator at every protocol point (FaultKind::CrashPoint
 # on the Op::Xa* ops), asserts divergent source state before recover()
@@ -105,8 +114,10 @@ if [ "$QUICK" -eq 0 ]; then
         || echo "==> budget overhead guard exceeded its 5% budget (warning only)" >&2
 
     # Bench-regression tripwire: run the quick experiment table
-    # (including E14, the serving-pool throughput curve), compare
-    # against the checked-in BENCH_E*.json baselines. Timing-column
+    # (including E14, the serving-pool throughput curve, and E16, the
+    # zero-copy construction ablation — which self-asserts byte-equal
+    # graft/copy serialization on every run), compare against the
+    # checked-in BENCH_E*.json baselines. Timing-column
     # regressions beyond 25 % WARN (quick mode on shared hardware is
     # noisy); a >15 % QPS drop on the E14 pool-4 row is a HARD FAIL —
     # that is the whole point of this PR and it must not quietly rot.

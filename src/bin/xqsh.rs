@@ -1,7 +1,7 @@
 //! xqsh — a small driver for XQSE programs.
 //!
 //! Usage:
-//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--no-batch] [--doc URI=FILE]...
+//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--no-batch] [--no-graft] [--doc URI=FILE]...
 //!   echo '{ return value 1 + 1; }' | xqsh -
 //!   xqsh --repl < lines.xqse
 //!   xqsh --serve-bench N [--requests R] [--delay-us D] [--explain]
@@ -16,6 +16,8 @@
 //! disables the pushdown/caching layer (equivalent to
 //! XQSE_DISABLE_OPT=1); `--no-batch` disables only the prepared-plan
 //! and source-batching layer (equivalent to XQSE_DISABLE_BATCH=1);
+//! `--no-graft` disables zero-copy subtree adoption in constructors
+//! (equivalent to XQSE_DISABLE_GRAFT=1 — the E16 ablation);
 //! `--doc` registers an XML file so `fn:doc("URI")` resolves.
 //!
 //! `--repl` reads stdin line by line, evaluating each non-empty line
@@ -56,7 +58,8 @@ use xqse::Xqse;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xqsh <file.xqse | - | --repl> [--trace] [--xqueryp] [--explain] \
-         [--no-opt] [--no-batch] [--deadline-ms MS] [--fuel N] [--doc URI=FILE]...\n       \
+         [--no-opt] [--no-batch] [--no-graft] [--deadline-ms MS] [--fuel N] \
+         [--doc URI=FILE]...\n       \
          xqsh --serve-bench N [--requests R] [--delay-us D] [--overload] \
          [--deadline-ms MS] [--fuel N] [--explain]"
     );
@@ -99,6 +102,11 @@ fn print_explain_stats(s: &OptStats, optimize: bool, batch: bool) {
         "explain: budgets        shed={} cancelled={} deadline={} fuel={} memory={}",
         s.budget_shed, s.budget_cancelled, s.budget_deadline, s.budget_fuel, s.budget_memory
     );
+    eprintln!(
+        "explain: xdm            nodes-built={} subtrees-grafted={} \
+         deep-copy-nodes-avoided={} interned-hits={}",
+        s.nodes_built, s.subtrees_grafted, s.deep_copy_nodes_avoided, s.interned_hits
+    );
 }
 
 fn print_explain(engine: &Engine) {
@@ -111,6 +119,7 @@ fn print_explain(engine: &Engine) {
 
 /// The `--serve-bench` mode: the E14 closed-loop throughput driver,
 /// or (with `overload`) the E15 load-shedding driver.
+#[allow(clippy::too_many_arguments)]
 fn serve_bench(
     workers: usize,
     requests: usize,
@@ -119,6 +128,7 @@ fn serve_bench(
     overload: bool,
     deadline_ms: Option<u64>,
     fuel: Option<u64>,
+    no_graft: bool,
 ) -> ExitCode {
     use aldsp::demo;
     use aldsp::pool::{
@@ -151,11 +161,19 @@ fn serve_bench(
         spec = spec.with_fuel(steps);
     }
     let pool = ServePool::start(spec, move |_worker| {
-        demo::assemble(
+        let space = demo::assemble(
             &db1,
             &db2,
             WebService::credit_rating_delayed(demo::CREDIT_TYPES_NS, delay_us),
-        )
+        );
+        // Per-worker engines read XQSE_DISABLE_GRAFT themselves at
+        // construction; the --no-graft flag has to reach them here.
+        if no_graft {
+            if let Ok(s) = &space {
+                s.engine().set_graft(false);
+            }
+        }
+        space
     });
     let reqs: Vec<ServeRequest> = (0..requests)
         .map(|i| ServeRequest::Get {
@@ -242,6 +260,7 @@ fn main() -> ExitCode {
     let mut explain = false;
     let mut no_opt = false;
     let mut no_batch = false;
+    let mut no_graft = false;
     let mut repl = false;
     let mut serve_workers: Option<usize> = None;
     let mut serve_requests: usize = 64;
@@ -258,6 +277,7 @@ fn main() -> ExitCode {
             "--explain" => explain = true,
             "--no-opt" => no_opt = true,
             "--no-batch" => no_batch = true,
+            "--no-graft" => no_graft = true,
             "--repl" => repl = true,
             "--overload" => overload = true,
             "--deadline-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
@@ -303,6 +323,7 @@ fn main() -> ExitCode {
             overload,
             deadline_ms,
             fuel,
+            no_graft,
         );
     }
     if overload || (repl && (source_arg.is_some() || sequential)) {
@@ -315,6 +336,9 @@ fn main() -> ExitCode {
     }
     if no_batch {
         engine.set_batch(false);
+    }
+    if no_graft {
+        engine.set_graft(false);
     }
     if deadline_ms.is_some() || fuel.is_some() {
         // One budget covers the whole script (or repl session), on

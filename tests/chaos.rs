@@ -1989,17 +1989,47 @@ mod budget {
         let space = DataSpace::new();
         let budget = Arc::new(Budget::unlimited().limit_memory(4));
         space.engine().force_budget(Some(budget.clone()));
-        // One charge unit per constructor expression: the 5th tree
-        // breaches a 4-unit ceiling.
+        // Construction-aware accounting: `<A><B/></A>` costs two units
+        // (one admission unit covering the root + one per extra node
+        // record), so the 3rd tree breaches a 4-unit ceiling.
         let mut outcomes = Vec::new();
         for _ in 0..10 {
             outcomes.push(space.engine().eval_expr_str("<A><B/></A>", &[]));
         }
         space.engine().force_budget(None);
-        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 4);
+        assert_eq!(outcomes.iter().filter(|o| o.is_ok()).count(), 2);
         let err = outcomes.iter().find_map(|o| o.as_ref().err()).unwrap();
         assert_eq!(AldspCode::of(err), Some(AldspCode::MemoryLimit), "{err:?}");
         assert_eq!(budget.remaining_memory(), Some(0));
+    }
+
+    /// Interning-aware memory accounting: a tree assembled from an
+    /// already-materialized subtree charges the *pointer* cost of the
+    /// graft, not the deep node count — so the same query admits under
+    /// a ceiling that the copy-always baseline breaches.
+    #[test]
+    fn budget_memory_charges_grafts_at_pointer_cost() {
+        // Wrapping a 21-node prebuilt tree: graft-on charges
+        // 1 admission + 1 pointer unit; copy-always charges
+        // 1 admission + 21 copied node records.
+        let query = "let $x := <r>{for $i in 1 to 10 return <v>{$i}</v>}</r> \
+                     return <wrap>{$x}</wrap>";
+        let charged = |graft: bool| -> u64 {
+            let space = DataSpace::new();
+            space.engine().set_graft(graft);
+            let budget = Arc::new(Budget::unlimited().limit_memory(1_000_000));
+            space.engine().force_budget(Some(budget.clone()));
+            space.engine().eval_expr_str(query, &[]).unwrap();
+            space.engine().force_budget(None);
+            1_000_000 - budget.remaining_memory().unwrap()
+        };
+        let with_graft = charged(true);
+        let without = charged(false);
+        assert!(
+            with_graft + 15 <= without,
+            "grafted construction must charge far fewer memory units: \
+             graft-on={with_graft} graft-off={without}"
+        );
     }
 
     /// Overload admission control: a 1-worker pool with a 1-slot
@@ -2291,5 +2321,215 @@ mod budget {
             "budget overhead {overhead:.2}% exceeds the 5% budget \
              (plain={plain:.4}s budgeted={budgeted:.4}s)"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy construction: grafted subtrees vs. the deep-copy baseline
+// ---------------------------------------------------------------------------
+
+mod graft {
+    use super::*;
+    use proptest::collection;
+    use xqse_repro::xmlparse::{serialize, serialize_sequence};
+
+    const CUS_NS: &[(&str, &str)] = &[("c", "ld:db1/CUSTOMER")];
+
+    /// Build a constructor-heavy query from random parameters: each
+    /// part declares a small tree and splices it into the output
+    /// twice (the reuse is what a graft must share without aliasing),
+    /// alongside a full source read whose cached rows come from a
+    /// sealed arena.
+    fn build_query(parts: &[(u8, u8)]) -> String {
+        let mut lets = String::new();
+        let mut uses = String::new();
+        for (i, (w, t)) in parts.iter().enumerate() {
+            let kids: String = (0..(w % 3) + 1)
+                .map(|k| format!("<k{k}>t{t}</k{k}>"))
+                .collect();
+            lets.push_str(&format!("let $v{i} := <p{i} a=\"x{t}\">{kids}</p{i}> "));
+            uses.push_str(&format!("{{ $v{i} }}{{ $v{i}/k0 }}{{ $v{i} }}"));
+        }
+        format!(
+            "{lets}return <out><rows>{{ c:CUSTOMER() }}</rows>\
+             <again>{{ c:CUSTOMER() }}</again><mix>{uses}</mix></out>"
+        )
+    }
+
+    fn descendant_count(n: &xqse_repro::xdm::node::NodeHandle) -> usize {
+        1 + n.children().iter().map(descendant_count).sum::<usize>()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Metamorphic equivalence: the same construction evaluated
+        /// with zero-copy grafting on and with the deep-copy baseline
+        /// must be observably identical — serialized bytes, typed
+        /// string value, and tree shape — while the grafting engine
+        /// actually grafts (the optimization is live, not skipped).
+        #[test]
+        fn grafted_and_copied_construction_agree(
+            parts in collection::vec((0u8..3, 0u8..4), 1..5)
+        ) {
+            let query = build_query(&parts);
+            let run = |graft: bool| {
+                let d = demo::build(4, 2, 1).unwrap();
+                d.space.engine().set_graft(graft);
+                let before = d.space.engine().opt_stats();
+                let out = d.space.engine().eval_expr_str(&query, CUS_NS).unwrap();
+                let stats = d.space.engine().opt_stats();
+                (out, stats.subtrees_grafted - before.subtrees_grafted)
+            };
+            let (grafted, g_count) = run(true);
+            let (copied, c_count) = run(false);
+            prop_assert!(g_count > 0, "graft-on run must graft at least once");
+            prop_assert_eq!(c_count, 0, "kill-switch run must never graft");
+            prop_assert_eq!(
+                serialize_sequence(&grafted),
+                serialize_sequence(&copied),
+                "serialized bytes must be mode-independent"
+            );
+            let (gn, cn) = (grafted.exactly_one().unwrap(), copied.exactly_one().unwrap());
+            let (Item::Node(gn), Item::Node(cn)) = (gn, cn) else { panic!("node results") };
+            prop_assert_eq!(gn.string_value(), cn.string_value());
+            prop_assert_eq!(descendant_count(gn), descendant_count(cn));
+            prop_assert!(gn.deep_equal(cn), "deep-equal across modes");
+        }
+    }
+
+    /// Two splices of the same tree are distinct logical nodes: each
+    /// graft view has its own identity, both parent into the host,
+    /// and the trees compare deep-equal.
+    #[test]
+    fn repeated_splices_are_distinct_logical_nodes() {
+        let d = demo::build(2, 1, 1).unwrap();
+        d.space.engine().set_graft(true);
+        let out = d
+            .space
+            .engine()
+            .eval_expr_str("let $x := <a><b>v</b></a> return <o>{$x}{$x}</o>", &[])
+            .unwrap();
+        let Item::Node(o) = out.exactly_one().unwrap().clone() else { panic!() };
+        let kids = o.children();
+        assert_eq!(kids.len(), 2);
+        assert_ne!(kids[0], kids[1], "two splices are two logical nodes");
+        assert!(kids[0].deep_equal(&kids[1]));
+        assert_eq!(kids[0].parent().as_ref(), Some(&o));
+        assert_eq!(kids[1].parent().as_ref(), Some(&o));
+        assert_eq!(serialize(&o), "<o><a><b>v</b></a><a><b>v</b></a></o>");
+    }
+
+    /// A spliced variable keeps its own standalone identity: after the
+    /// construction, the original is still parentless, in both modes.
+    #[test]
+    fn original_tree_stays_parentless_after_splice() {
+        for graft in [true, false] {
+            let d = demo::build(2, 1, 1).unwrap();
+            d.space.engine().set_graft(graft);
+            let out = d
+                .space
+                .engine()
+                .eval_expr_str(
+                    "let $x := <a/> let $y := <o>{$x}</o> return $x/parent::node()",
+                    &[],
+                )
+                .unwrap();
+            assert!(out.is_empty(), "graft={graft}: original must stay parentless");
+        }
+    }
+
+    /// Copy-on-write isolation: mutating a constructed tree that
+    /// grafted a cached source row must not leak into the source
+    /// cache — a later read serves the pristine bytes — while the
+    /// mutation is visible in the constructed tree.
+    #[test]
+    fn mutating_grafted_result_leaves_source_cache_pristine() {
+        let d = demo::build(3, 1, 1).unwrap();
+        let engine = d.space.engine();
+        engine.set_graft(true);
+        let baseline =
+            serialize_sequence(&engine.eval_expr_str("c:CUSTOMER()", CUS_NS).unwrap());
+
+        let out = engine
+            .eval_expr_str("<wrap>{ c:CUSTOMER() }</wrap>", CUS_NS)
+            .unwrap();
+        let Item::Node(wrap) = out.exactly_one().unwrap().clone() else { panic!() };
+        let before = engine.opt_stats();
+        assert!(before.subtrees_grafted > 0, "cached rows must graft");
+
+        // Mutate the first grafted row through the constructed tree.
+        let row = wrap.children()[0].clone();
+        let extra = xqse_repro::xdm::node::NodeHandle::new_element(
+            row.arena(),
+            QName::new("INJECTED"),
+        );
+        row.append_child(&extra).unwrap();
+        assert!(
+            serialize(&wrap).contains("<INJECTED/>"),
+            "mutation visible through the host tree"
+        );
+
+        // The cache (and any other reader) still serves pristine rows.
+        let after =
+            serialize_sequence(&engine.eval_expr_str("c:CUSTOMER()", CUS_NS).unwrap());
+        assert_eq!(baseline, after, "source cache corrupted by COW leak");
+    }
+
+    /// Pool soak: replies served by the engine-per-worker pool with
+    /// grafting on are byte-identical to a single-engine deep-copy
+    /// evaluation of the same reads.
+    #[test]
+    fn pool_replies_byte_identical_to_copy_baseline() {
+        use xqse_repro::aldsp::pool::{drive_closed_loop, ServeArg, ServePool, ServeRequest, ServeSpec};
+        use xqse_repro::aldsp::WebService;
+
+        const CUSTOMERS: usize = 8;
+        let d = demo::build(CUSTOMERS, 2, 1).unwrap();
+        let (db1, db2) = (d.db1.clone(), d.db2.clone());
+        let pool = ServePool::start(ServeSpec::new(4), move |_worker| {
+            let space =
+                demo::assemble(&db1, &db2, WebService::credit_rating(demo::CREDIT_TYPES_NS));
+            // Force grafting on so the engagement assert below holds even
+            // when the suite runs under XQSE_DISABLE_GRAFT=1 (check.sh's
+            // kill-switch arm); the copy oracle below is env-independent.
+            if let Ok(s) = &space {
+                s.engine().set_graft(true);
+            }
+            space
+        });
+        let reqs: Vec<ServeRequest> = (1..=CUSTOMERS)
+            .cycle()
+            .take(CUSTOMERS * 3)
+            .map(|cid| ServeRequest::Get {
+                service: "CustomerProfile".into(),
+                method: "getProfileById".into(),
+                args: vec![ServeArg::Str(cid.to_string())],
+            })
+            .collect();
+        let (replies, _) = drive_closed_loop(&pool, &reqs, 4);
+        let report = pool.shutdown();
+        assert!(
+            report.stats.subtrees_grafted > 0,
+            "pool workers must graft: {:?}",
+            report.stats
+        );
+
+        // Deep-copy oracle on a private engine.
+        d.space.engine().set_graft(false);
+        for (i, reply) in replies.iter().enumerate() {
+            let cid = (i % CUSTOMERS) + 1;
+            let got = reply.result.as_ref().unwrap();
+            let graph = d
+                .space
+                .get(
+                    "CustomerProfile",
+                    "getProfileById",
+                    vec![Sequence::one(Item::string(cid.to_string()))],
+                )
+                .unwrap();
+            let want = serialize_sequence(graph.instances());
+            assert_eq!(got, &want, "reply {i} (cid {cid}) diverged from copy baseline");
+        }
     }
 }

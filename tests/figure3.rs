@@ -265,3 +265,50 @@ fn getprofile_agrees_with_batching_disabled() {
     assert_eq!(s.ws_coalesced, 0, "disabled layer never coalesces");
     assert_eq!(s.ws_requests, s.ws_issued, "every request pays a call");
 }
+
+/// The zero-copy construction layer must actually engage on the
+/// paper's running example: building Figure 3's profile trees grafts
+/// subtrees and hits the name interner, and the kill switch restores
+/// copy-always behavior with identical output.
+#[test]
+fn zero_copy_counters_engage_on_getprofile() {
+    let d = demo::build(6, 3, 2).unwrap();
+    let engine = d.space.engine();
+    // Grafting on regardless of XQSE_DISABLE_GRAFT, so this engagement
+    // test still holds in check.sh's kill-switch arm (which exists to
+    // prove the *copy* semantics, re-checked below, not to veto grafts).
+    engine.set_graft(true);
+
+    let before = engine.opt_stats();
+    let on = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    let after = engine.opt_stats();
+    assert!(
+        after.subtrees_grafted > before.subtrees_grafted,
+        "getProfile must graft constructed subtrees: {after:?}"
+    );
+    assert!(
+        after.deep_copy_nodes_avoided > before.deep_copy_nodes_avoided,
+        "grafts must avoid deep copies: {after:?}"
+    );
+    assert!(
+        after.interned_hits > before.interned_hits,
+        "repeated names must hit the interner: {after:?}"
+    );
+    assert!(after.nodes_built > before.nodes_built);
+
+    // Kill switch: no grafts, byte-identical output.
+    engine.set_graft(false);
+    let base = engine.opt_stats();
+    let off = d.space.get("CustomerProfile", "getProfile", vec![]).unwrap();
+    let end = engine.opt_stats();
+    engine.set_graft(true);
+    assert_eq!(
+        end.subtrees_grafted, base.subtrees_grafted,
+        "kill switch must not graft"
+    );
+    assert_eq!(
+        xqse_repro::xmlparse::serialize_sequence(on.instances()),
+        xqse_repro::xmlparse::serialize_sequence(off.instances()),
+        "graft on/off must serialize identically"
+    );
+}
