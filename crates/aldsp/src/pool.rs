@@ -691,9 +691,15 @@ fn serve_one(space: &DataSpace, request: &ServeRequest) -> Result<String, XdmErr
             Ok(xmlparse::serialize_sequence(graph.instances()))
         }
         ServeRequest::Run { program } => {
+            // Streamed reply path: an eligible expression body comes
+            // back lazy and is serialized as the pipeline drains, so a
+            // paging/probing program never materializes the tuples an
+            // early exit skips. Deferred evaluation errors (mid-stream
+            // source faults, budget expiry) surface through the
+            // fallible stream serializer as ordinary error replies.
             let mut env = Env::new();
-            let out = space.xqse().run_with_env(program, &mut env)?;
-            Ok(xmlparse::serialize_sequence(&out))
+            let out = space.xqse().run_lazy_with_env(program, &mut env)?;
+            Ok(xmlparse::serialize_sequence_stream(&out)?)
         }
         ServeRequest::Submit { service, method, args, sets } => {
             let args = args.iter().map(ServeArg::to_sequence).collect();

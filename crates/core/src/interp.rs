@@ -109,6 +109,20 @@ impl Xqse {
         }
     }
 
+    /// [`Xqse::run_with_env`], but an expression body eligible for the
+    /// pull pipeline comes back as a **lazy** sequence: tuples are
+    /// produced as the caller consumes the result (fallible Sequence
+    /// API — `try_item`, `into_forced`, or a streaming serializer), so
+    /// paging/probing consumers and incremental reply paths stop the
+    /// evaluation early. Block bodies are statements and stay strict.
+    pub fn run_lazy_with_env(&self, src: &str, env: &mut Env) -> XdmResult<Sequence> {
+        let pq = self.engine.prepare(src)?;
+        match &pq.module().body {
+            QueryBody::Expr(_) => self.engine.execute_prepared_lazy_in(&pq, env),
+            _ => self.run_with_env(src, env),
+        }
+    }
+
     /// Call a procedure by name from *statement context* — side
     /// effects allowed. This is the entry ALDSP uses to invoke data
     /// service methods.

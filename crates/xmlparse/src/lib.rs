@@ -19,4 +19,7 @@ mod parser;
 mod serializer;
 
 pub use parser::{parse, parse_fragment, ParseOptions};
-pub use serializer::{serialize, serialize_pretty, serialize_sequence};
+pub use serializer::{
+    serialize, serialize_pretty, serialize_sequence, serialize_sequence_stream,
+    IncrementalSerializer,
+};

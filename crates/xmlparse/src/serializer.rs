@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use xdm::error::XdmResult;
 use xdm::node::{NodeHandle, NodeKind};
 use xdm::sequence::{Item, Sequence};
 
@@ -29,24 +30,80 @@ pub fn serialize_pretty(node: &NodeHandle) -> String {
 /// rendered via their string value, space-separated (the standard
 /// "sequence normalization" of the XSLT/XQuery serialization spec).
 pub fn serialize_sequence(seq: &Sequence) -> String {
-    let mut out = String::new();
-    let mut prev_atomic = false;
+    let mut ser = IncrementalSerializer::new();
     for item in seq.iter() {
+        ser.write_item(item);
+    }
+    ser.finish()
+}
+
+/// Serialize a possibly-lazy sequence, draining it item by item
+/// through the fallible pull API: output accumulates as the stream
+/// produces tuples, and a deferred evaluation error (mid-stream source
+/// fault, budget expiry) surfaces as `Err` instead of being swallowed
+/// by a quiet force. This is the reply-path entry for streamed
+/// results (`aldsp::pool`); interactive front ends that want true
+/// time-to-first-byte drive an [`IncrementalSerializer`] themselves.
+pub fn serialize_sequence_stream(seq: &Sequence) -> XdmResult<String> {
+    let mut ser = IncrementalSerializer::new();
+    let mut i = 0usize;
+    while let Some(item) = seq.try_item(i)? {
+        ser.write_item(&item);
+        i += 1;
+    }
+    Ok(ser.finish())
+}
+
+/// Incremental sequence serialization: feed items one at a time and
+/// take the rendered increment after each, so a consumer can emit
+/// output while a lazy stream drains instead of waiting for the last
+/// tuple. The only cross-item state of sequence normalization is the
+/// atomic/atomic separator space, which lives here.
+#[derive(Default)]
+pub struct IncrementalSerializer {
+    out: String,
+    /// Start of the increment not yet handed out by [`take_delta`].
+    ///
+    /// [`take_delta`]: IncrementalSerializer::take_delta
+    emitted: usize,
+    prev_atomic: bool,
+}
+
+impl IncrementalSerializer {
+    /// A fresh serializer with nothing written.
+    pub fn new() -> IncrementalSerializer {
+        IncrementalSerializer::default()
+    }
+
+    /// Append one item, exactly as [`serialize_sequence`] would have.
+    pub fn write_item(&mut self, item: &Item) {
         match item {
             Item::Node(n) => {
-                write_node(&mut out, n, None, &mut HashSet::new());
-                prev_atomic = false;
+                write_node(&mut self.out, n, None, &mut HashSet::new());
+                self.prev_atomic = false;
             }
             Item::Atomic(a) => {
-                if prev_atomic {
-                    out.push(' ');
+                if self.prev_atomic {
+                    self.out.push(' ');
                 }
-                out.push_str(&escape_text(&a.string_value()));
-                prev_atomic = true;
+                self.out.push_str(&escape_text(&a.string_value()));
+                self.prev_atomic = true;
             }
         }
     }
-    out
+
+    /// The output appended since the last `take_delta` call — what an
+    /// interactive consumer flushes after each pulled item.
+    pub fn take_delta(&mut self) -> &str {
+        let delta = &self.out[self.emitted..];
+        self.emitted = self.out.len();
+        delta
+    }
+
+    /// Everything written so far, consuming the serializer.
+    pub fn finish(self) -> String {
+        self.out
+    }
 }
 
 fn escape_text(s: &str) -> String {
@@ -309,5 +366,36 @@ mod tests {
             Item::string("a<b"),
         ]);
         assert_eq!(serialize_sequence(&seq), "1 2<n/>a&lt;b");
+    }
+
+    #[test]
+    fn incremental_deltas_concatenate_to_the_batch_output() {
+        use xdm::sequence::Item;
+        let n = NodeHandle::root_element(QName::new("n"));
+        let items = vec![
+            Item::integer(1),
+            Item::integer(2),
+            Item::Node(n),
+            Item::string("a<b"),
+        ];
+        let mut ser = IncrementalSerializer::new();
+        let mut joined = String::new();
+        for it in &items {
+            ser.write_item(it);
+            joined.push_str(ser.take_delta());
+        }
+        let batch = serialize_sequence(&Sequence::from_items(items));
+        assert_eq!(joined, batch);
+        assert_eq!(ser.finish(), batch);
+    }
+
+    #[test]
+    fn stream_serialization_matches_batch_on_eager_sequences() {
+        use xdm::sequence::Item;
+        let seq = Sequence::from_items(vec![Item::integer(7), Item::string("x")]);
+        assert_eq!(
+            serialize_sequence_stream(&seq).unwrap(),
+            serialize_sequence(&seq)
+        );
     }
 }

@@ -240,6 +240,38 @@ impl Env {
     pub fn depth(&self) -> usize {
         self.frames.len()
     }
+
+    /// An owned snapshot of this context for a detached pull stream
+    /// (the lazy FLWOR pipeline evaluates its clauses *after* the
+    /// creating `eval` call has returned, so it cannot borrow `self`).
+    ///
+    /// The snapshot sees exactly the bindings visible here — frames
+    /// are flattened innermost-wins into one read-only frame — plus
+    /// the current focus and write epoch. The trace sink is shared
+    /// (`fn:trace` from streamed tuples still reaches the caller's
+    /// buffer). Deliberately NOT carried over: the open PUL (streams
+    /// are only created when no update list is open), and the
+    /// join/ws memo caches (they key by expression address and are
+    /// rebuilt privately by the stream; sharing would need `RefCell`
+    /// plumbing for no measured win).
+    pub fn fork_for_stream(&self) -> Env {
+        let mut vars: HashMap<QName, Binding> = HashMap::new();
+        for frame in &self.frames {
+            // Later (inner) frames overwrite: shadowing preserved.
+            for (name, b) in &frame.vars {
+                vars.insert(name.clone(), b.clone());
+            }
+        }
+        Env {
+            frames: vec![Frame { vars }],
+            focus: self.focus.clone(),
+            pul: None,
+            trace: self.trace.clone(),
+            join_cache: HashMap::new(),
+            ws_memo: HashMap::new(),
+            write_epoch: self.write_epoch,
+        }
+    }
 }
 
 #[cfg(test)]

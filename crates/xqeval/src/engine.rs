@@ -179,6 +179,17 @@ pub struct OptStats {
     /// Intern-table lookups that found an existing symbol (QName
     /// parts and repeated text/attribute values share one allocation).
     pub interned_hits: u64,
+    /// FLWOR tuples advanced through the streaming pipeline (one per
+    /// pull, whether or not the tuple survived its `where` filters).
+    pub tuples_pulled: u64,
+    /// Streams abandoned before exhaustion — an early-exit consumer
+    /// (`exists`, `subsequence`, a positional predicate, a quantifier)
+    /// decided its answer without draining the source.
+    pub early_exits: u64,
+    /// Source items an abandoned stream never materialized into
+    /// tuples: work the eager evaluator would have done and the
+    /// pipelined one skipped.
+    pub items_never_built: u64,
 }
 
 impl OptStats {
@@ -214,6 +225,9 @@ impl OptStats {
         self.subtrees_grafted += other.subtrees_grafted;
         self.deep_copy_nodes_avoided += other.deep_copy_nodes_avoided;
         self.interned_hits += other.interned_hits;
+        self.tuples_pulled += other.tuples_pulled;
+        self.early_exits += other.early_exits;
+        self.items_never_built += other.items_never_built;
     }
 }
 
@@ -271,6 +285,12 @@ pub struct OptCounters {
     pub budget_fuel: Cell<u64>,
     /// See [`OptStats::budget_memory`].
     pub budget_memory: Cell<u64>,
+    /// See [`OptStats::tuples_pulled`].
+    pub tuples_pulled: Cell<u64>,
+    /// See [`OptStats::early_exits`].
+    pub early_exits: Cell<u64>,
+    /// See [`OptStats::items_never_built`].
+    pub items_never_built: Cell<u64>,
 }
 
 impl OptCounters {
@@ -349,7 +369,24 @@ pub enum ProcKind {
 }
 
 /// The evaluation engine.
+///
+/// `Engine` is a cheap handle: cloning bumps one `Rc`, and every clone
+/// shares the same registries, caches, counters, and knobs. The
+/// streaming FLWOR pipeline relies on this — a lazy
+/// [`Sequence`](xdm::sequence::Sequence) may outlive the evaluator
+/// call that created it, so its pull source owns an `Engine` clone
+/// instead of a borrow. All interior state already used
+/// `Cell`/`RefCell`/`Rc` (the engine is single-threaded by design:
+/// `!Send`/`!Sync`), so sharing the one `EngineInner` is behaviorally
+/// identical to the previous by-value struct.
+#[derive(Clone)]
 pub struct Engine {
+    inner: Rc<EngineInner>,
+}
+
+/// The engine state proper; see [`Engine`] for the field-by-field
+/// story. Private: all access goes through the handle's methods.
+struct EngineInner {
     functions: RefCell<HashMap<(QName, usize), FunctionKind>>,
     procedures: RefCell<HashMap<(QName, usize), ProcKind>>,
     globals: RefCell<HashMap<QName, Sequence>>,
@@ -433,6 +470,12 @@ pub struct Engine {
     /// restore the copy-always baseline for the E16 ablation and the
     /// CI kill-switch arm.
     graft: Rc<Cell<bool>>,
+    /// Whether the evaluator may stream FLWOR tuples lazily (pipelined
+    /// pull evaluation with early exits). Shared (`Rc`) so streams in
+    /// flight observe toggles live; `XQSE_DISABLE_LAZY=1` /
+    /// [`Engine::set_lazy`] restore fully eager evaluation for the
+    /// E17 ablation and the lazy CI kill-switch arm.
+    lazy: Rc<Cell<bool>>,
     /// Baseline snapshot of this thread's XDM construction counters,
     /// taken at engine creation (and on [`Engine::reset_opt_stats`]).
     /// [`Engine::opt_stats`] reports the delta since this baseline —
@@ -456,47 +499,55 @@ impl Engine {
     /// A fresh engine with builtins only.
     pub fn new() -> Engine {
         Engine {
-            functions: RefCell::new(HashMap::new()),
-            procedures: RefCell::new(HashMap::new()),
-            globals: RefCell::new(HashMap::new()),
-            documents: RefCell::new(HashMap::new()),
-            proc_runner: RefCell::new(None),
-            now: Cell::new(
-                DateTime::parse("2007-12-07T10:30:00").expect("valid literal"),
-            ),
-            // `XQSE_DISABLE_OPT=1` starts every engine in sequential
-            // mode — the dual-mode CI runs use it to prove the whole
-            // suite passes without the optimizer.
-            optimize: Rc::new(Cell::new(
-                !matches!(std::env::var("XQSE_DISABLE_OPT").as_deref(), Ok("1")),
-            )),
-            // Deliberately NOT env-gated: the kill-switch restores the
-            // pre-optimizer baseline, which had the join rewrite.
-            join_rewrite: Rc::new(Cell::new(true)),
-            opt_mirrors: RefCell::new(Vec::new()),
-            capabilities: RefCell::new(HashMap::new()),
-            mat_flushers: RefCell::new(Vec::new()),
-            write_listeners: RefCell::new(Vec::new()),
-            // `XQSE_DISABLE_BATCH=1` switches off the prepared-plan /
-            // batched-source layer only, reproducing the PR 2
-            // optimizer generation — the third dual-mode CI arm.
-            batch: Rc::new(Cell::new(
-                !matches!(std::env::var("XQSE_DISABLE_BATCH").as_deref(), Ok("1")),
-            )),
-            registry_gen: Cell::new(0),
-            plan_cache: RefCell::new(Lru::new(PLAN_CACHE_CAPACITY)),
-            batchables: RefCell::new(HashMap::new()),
-            opt: Rc::new(OptCounters::default()),
-            budget_active: Cell::new(false),
-            budget_raw: Cell::new(std::ptr::null()),
-            budget: RefCell::new(None),
-            // `XQSE_DISABLE_GRAFT=1` restores deep-copying element
-            // construction everywhere — the E16 ablation and the
-            // zero-copy CI kill-switch arm.
-            graft: Rc::new(Cell::new(
-                !matches!(std::env::var("XQSE_DISABLE_GRAFT").as_deref(), Ok("1")),
-            )),
-            xdm_base: Cell::new(xdm::xdm_stats()),
+            inner: Rc::new(EngineInner {
+                functions: RefCell::new(HashMap::new()),
+                procedures: RefCell::new(HashMap::new()),
+                globals: RefCell::new(HashMap::new()),
+                documents: RefCell::new(HashMap::new()),
+                proc_runner: RefCell::new(None),
+                now: Cell::new(
+                    DateTime::parse("2007-12-07T10:30:00").expect("valid literal"),
+                ),
+                // `XQSE_DISABLE_OPT=1` starts every engine in sequential
+                // mode — the dual-mode CI runs use it to prove the whole
+                // suite passes without the optimizer.
+                optimize: Rc::new(Cell::new(
+                    !matches!(std::env::var("XQSE_DISABLE_OPT").as_deref(), Ok("1")),
+                )),
+                // Deliberately NOT env-gated: the kill-switch restores the
+                // pre-optimizer baseline, which had the join rewrite.
+                join_rewrite: Rc::new(Cell::new(true)),
+                opt_mirrors: RefCell::new(Vec::new()),
+                capabilities: RefCell::new(HashMap::new()),
+                mat_flushers: RefCell::new(Vec::new()),
+                write_listeners: RefCell::new(Vec::new()),
+                // `XQSE_DISABLE_BATCH=1` switches off the prepared-plan /
+                // batched-source layer only, reproducing the PR 2
+                // optimizer generation — the third dual-mode CI arm.
+                batch: Rc::new(Cell::new(
+                    !matches!(std::env::var("XQSE_DISABLE_BATCH").as_deref(), Ok("1")),
+                )),
+                registry_gen: Cell::new(0),
+                plan_cache: RefCell::new(Lru::new(PLAN_CACHE_CAPACITY)),
+                batchables: RefCell::new(HashMap::new()),
+                opt: Rc::new(OptCounters::default()),
+                budget_active: Cell::new(false),
+                budget_raw: Cell::new(std::ptr::null()),
+                budget: RefCell::new(None),
+                // `XQSE_DISABLE_GRAFT=1` restores deep-copying element
+                // construction everywhere — the E16 ablation and the
+                // zero-copy CI kill-switch arm.
+                graft: Rc::new(Cell::new(
+                    !matches!(std::env::var("XQSE_DISABLE_GRAFT").as_deref(), Ok("1")),
+                )),
+                // `XQSE_DISABLE_LAZY=1` restores fully eager FLWOR
+                // evaluation — the E17 ablation and the pipelined-lazy CI
+                // kill-switch arm.
+                lazy: Rc::new(Cell::new(
+                    !matches!(std::env::var("XQSE_DISABLE_LAZY").as_deref(), Ok("1")),
+                )),
+                xdm_base: Cell::new(xdm::xdm_stats()),
+            }),
         }
     }
 
@@ -517,11 +568,11 @@ impl Engine {
     /// the pool's cancellation path install unconditionally.
     pub fn force_budget(&self, budget: Option<Arc<crate::budget::Budget>>) {
         crate::budget::set_current_budget(budget.clone());
-        self.budget_active.set(budget.is_some());
-        self.budget_raw.set(
+        self.inner.budget_active.set(budget.is_some());
+        self.inner.budget_raw.set(
             budget.as_ref().map_or(std::ptr::null(), Arc::as_ptr),
         );
-        *self.budget.borrow_mut() = budget;
+        *self.inner.budget.borrow_mut() = budget;
     }
 
     /// The installed budget as a plain borrow — the hot-path read
@@ -532,12 +583,12 @@ impl Engine {
     /// drops the owning `Arc`) while holding it.
     #[inline]
     fn budget_ref(&self) -> Option<&crate::budget::Budget> {
-        let p = self.budget_raw.get();
+        let p = self.inner.budget_raw.get();
         if p.is_null() {
             None
         } else {
             // SAFETY: `budget_raw` is non-null only while the Arc in
-            // `self.budget` (set in the same force_budget call) keeps
+            // `self.inner.budget` (set in the same force_budget call) keeps
             // the pointee alive, and `Engine` is `!Sync`, so nothing
             // can swap the budget concurrently with this read.
             unsafe { Some(&*p) }
@@ -546,14 +597,14 @@ impl Engine {
 
     /// The budget currently installed on this engine, if any.
     pub fn budget(&self) -> Option<Arc<crate::budget::Budget>> {
-        self.budget.borrow().clone()
+        self.inner.budget.borrow().clone()
     }
 
     /// Is a budget installed? One `Cell` read — the evaluator's
     /// per-step fast path.
     #[inline]
     pub fn budget_active(&self) -> bool {
-        self.budget_active.get()
+        self.inner.budget_active.get()
     }
 
     /// Hot-loop charge: one fuel unit (plus strided deadline /
@@ -607,10 +658,10 @@ impl Engine {
         arity: usize,
         f: ExternalFn,
     ) {
-        self.functions
+        self.inner.functions
             .borrow_mut()
             .insert((name, arity), FunctionKind::External { f, updating: false });
-        self.registry_gen.set(self.registry_gen.get() + 1);
+        self.inner.registry_gen.set(self.inner.registry_gen.get() + 1);
     }
 
     /// Register an external procedure (side-effecting unless
@@ -623,67 +674,67 @@ impl Engine {
         readonly: bool,
         f: ExternalFn,
     ) {
-        self.procedures
+        self.inner.procedures
             .borrow_mut()
             .insert((name, arity), ProcKind::External { f, readonly });
-        self.registry_gen.set(self.registry_gen.get() + 1);
+        self.inner.registry_gen.set(self.inner.registry_gen.get() + 1);
     }
 
     /// Register a batch entry point for an already-registered external
     /// function: the FLWOR evaluator flushes accumulated iterations
     /// through it in one coalesced round trip (web-service sources).
     pub fn register_batchable_function(&self, name: QName, arity: usize, f: BatchFn) {
-        self.batchables.borrow_mut().insert((name, arity), f);
+        self.inner.batchables.borrow_mut().insert((name, arity), f);
     }
 
     /// The batch entry point of a function, if it is batchable.
     pub fn batchable(&self, name: &QName, arity: usize) -> Option<BatchFn> {
-        self.batchables.borrow().get(&(name.clone(), arity)).cloned()
+        self.inner.batchables.borrow().get(&(name.clone(), arity)).cloned()
     }
 
     /// Bind a global variable (external variables, ALDSP parameters).
     pub fn set_global(&self, name: QName, value: Sequence) {
-        self.globals.borrow_mut().insert(name, value);
+        self.inner.globals.borrow_mut().insert(name, value);
     }
 
     /// Look up a global variable.
     pub fn global(&self, name: &QName) -> Option<Sequence> {
-        self.globals.borrow().get(name).cloned()
+        self.inner.globals.borrow().get(name).cloned()
     }
 
     /// Register a document for `fn:doc`.
     pub fn register_document(&self, uri: impl Into<String>, doc: NodeHandle) {
-        self.documents.borrow_mut().insert(uri.into(), doc);
+        self.inner.documents.borrow_mut().insert(uri.into(), doc);
     }
 
     /// Resolve a document registered for `fn:doc`.
     pub fn document(&self, uri: &str) -> Option<NodeHandle> {
-        self.documents.borrow().get(uri).cloned()
+        self.inner.documents.borrow().get(uri).cloned()
     }
 
     /// Install the statement-engine hook that runs user procedures.
     pub fn install_proc_runner(&self, runner: ProcRunner) {
-        *self.proc_runner.borrow_mut() = Some(runner);
+        *self.inner.proc_runner.borrow_mut() = Some(runner);
     }
 
     /// The installed procedure runner, if any.
     pub fn proc_runner(&self) -> Option<ProcRunner> {
-        self.proc_runner.borrow().clone()
+        self.inner.proc_runner.borrow().clone()
     }
 
     /// Fixed current dateTime.
     pub fn now(&self) -> DateTime {
-        self.now.get()
+        self.inner.now.get()
     }
 
     /// Override the engine clock (deterministic tests/benches).
     pub fn set_now(&self, now: DateTime) {
-        self.now.set(now);
+        self.inner.now.set(now);
     }
 
     /// Whether declarative optimizations are enabled.
     pub fn optimize_enabled(&self) -> bool {
-        self.optimize.get()
+        self.inner.optimize.get()
     }
 
     /// Toggle declarative optimizations (the XQueryP sequential-mode
@@ -691,8 +742,8 @@ impl Engine {
     /// whole performance layer: join memoization, predicate pushdown,
     /// indexed selects, and materialization caching all key off it.
     pub fn set_optimize(&self, on: bool) {
-        self.optimize.set(on);
-        for m in self.opt_mirrors.borrow().iter() {
+        self.inner.optimize.set(on);
+        for m in self.inner.opt_mirrors.borrow().iter() {
             m.store(on, Ordering::Relaxed);
         }
     }
@@ -701,7 +752,7 @@ impl Engine {
     /// this at introspection time so `set_optimize` toggles their
     /// fast paths live.
     pub fn optimize_handle(&self) -> Rc<Cell<bool>> {
-        self.optimize.clone()
+        self.inner.optimize.clone()
     }
 
     /// Register a thread-shareable mirror of the optimize flag (for
@@ -709,46 +760,46 @@ impl Engine {
     /// [`Engine::set_optimize`]). The mirror is synchronized to the
     /// current flag value immediately.
     pub fn register_opt_mirror(&self, mirror: Arc<AtomicBool>) {
-        mirror.store(self.optimize.get(), Ordering::Relaxed);
-        self.opt_mirrors.borrow_mut().push(mirror);
+        mirror.store(self.inner.optimize.get(), Ordering::Relaxed);
+        self.inner.opt_mirrors.borrow_mut().push(mirror);
     }
 
     /// Whether the batched/prepared executor layer is enabled (PR 4).
     /// `set_optimize(false)` also disables it — `optimize` stays the
     /// umbrella kill-switch for the whole performance stack.
     pub fn batch_enabled(&self) -> bool {
-        self.batch.get()
+        self.inner.batch.get()
     }
 
     /// Toggle the batched/prepared executor layer independently of the
     /// umbrella flag (the `XQSE_DISABLE_BATCH=1` CI arm and the E13
     /// parse-per-call ablation use this to reproduce PR 2 behavior).
     pub fn set_batch(&self, on: bool) {
-        self.batch.set(on);
+        self.inner.batch.set(on);
     }
 
     /// A shared handle on the batch flag (captured by source closures
     /// registered at introspection time).
     pub fn batch_handle(&self) -> Rc<Cell<bool>> {
-        self.batch.clone()
+        self.inner.batch.clone()
     }
 
     /// Are prepared plans cached and reused? Requires both the
     /// umbrella optimize flag and the batch-layer flag.
     pub fn plan_caching_enabled(&self) -> bool {
-        self.optimize.get() && self.batch.get()
+        self.inner.optimize.get() && self.inner.batch.get()
     }
 
     /// Resize the prepared-plan cache (shrinking evicts LRU entries).
     pub fn set_plan_cache_capacity(&self, cap: usize) {
-        self.plan_cache.borrow_mut().set_capacity(cap);
+        self.inner.plan_cache.borrow_mut().set_capacity(cap);
     }
 
     /// Whether the FLWOR hash-join rewrite is available (default: yes,
     /// even with `set_optimize(false)` — the rewrite is part of the
     /// pre-optimizer baseline).
     pub fn join_rewrite_enabled(&self) -> bool {
-        self.join_rewrite.get()
+        self.inner.join_rewrite.get()
     }
 
     /// Toggle the hash-join rewrite independently of the optimizer
@@ -757,7 +808,7 @@ impl Engine {
     /// and the E11 ablation uses it to isolate the join memoization's
     /// contribution.
     pub fn set_join_rewrite(&self, on: bool) {
-        self.join_rewrite.set(on);
+        self.inner.join_rewrite.set(on);
     }
 
     /// Whether element/document constructors may adopt (graft)
@@ -766,36 +817,57 @@ impl Engine {
     /// grafting is a construction-layer property, not a query rewrite,
     /// and the dual-mode CI arms toggle it separately.
     pub fn graft_enabled(&self) -> bool {
-        self.graft.get()
+        self.inner.graft.get()
     }
 
     /// Toggle zero-copy subtree adoption (the E16 ablation and the
     /// `XQSE_DISABLE_GRAFT=1` CI arm restore the copy-always
     /// baseline through this).
     pub fn set_graft(&self, on: bool) {
-        self.graft.set(on);
+        self.inner.graft.set(on);
     }
 
     /// A shared handle on the graft flag (captured by the evaluator).
     pub fn graft_handle(&self) -> Rc<Cell<bool>> {
-        self.graft.clone()
+        self.inner.graft.clone()
+    }
+
+    /// Whether FLWOR evaluation may stream tuples lazily (pipelined
+    /// pull evaluation with early-exit consumers). Independent of the
+    /// umbrella optimize flag: laziness is an evaluation-model
+    /// property, not a query rewrite, and the dual-mode CI arms
+    /// toggle it separately.
+    pub fn lazy_enabled(&self) -> bool {
+        self.inner.lazy.get()
+    }
+
+    /// Toggle pipelined lazy evaluation (the E17 ablation and the
+    /// `XQSE_DISABLE_LAZY=1` CI arm restore the materialize-everything
+    /// baseline through this).
+    pub fn set_lazy(&self, on: bool) {
+        self.inner.lazy.set(on);
+    }
+
+    /// A shared handle on the lazy flag (captured by the evaluator).
+    pub fn lazy_handle(&self) -> Rc<Cell<bool>> {
+        self.inner.lazy.clone()
     }
 
     /// Advertise a pushdown capability for a registered arity-0 read
     /// function.
     pub fn register_source_capability(&self, name: QName, cap: SourceCapability) {
-        self.capabilities.borrow_mut().insert(name, cap);
+        self.inner.capabilities.borrow_mut().insert(name, cap);
     }
 
     /// The pushdown capability of a read function, if advertised.
     pub fn source_capability(&self, name: &QName) -> Option<SourceCapability> {
-        self.capabilities.borrow().get(name).cloned()
+        self.inner.capabilities.borrow().get(name).cloned()
     }
 
     /// Register a hook that flushes a per-source materialization
     /// cache.
     pub fn register_mat_flusher(&self, f: Rc<dyn Fn()>) {
-        self.mat_flushers.borrow_mut().push(f);
+        self.inner.mat_flushers.borrow_mut().push(f);
     }
 
     /// Flush every registered materialization cache and count one
@@ -803,17 +875,17 @@ impl Engine {
     /// update statements, whose pending-update lists may mutate nodes
     /// that cached trees share.
     pub fn invalidate_materialization(&self) {
-        for f in self.mat_flushers.borrow().iter() {
+        for f in self.inner.mat_flushers.borrow().iter() {
             f();
         }
-        let n = self.mat_flushers.borrow().len() as u64;
-        self.opt.mat_invalidations.set(self.opt.mat_invalidations.get() + n);
+        let n = self.inner.mat_flushers.borrow().len() as u64;
+        self.inner.opt.mat_invalidations.set(self.inner.opt.mat_invalidations.get() + n);
     }
 
     /// Register a hook to be notified on [`Engine::note_source_write`]
     /// (web-service read-through caches invalidate themselves here).
     pub fn register_write_listener(&self, f: Rc<dyn Fn()>) {
-        self.write_listeners.borrow_mut().push(f);
+        self.inner.write_listeners.borrow_mut().push(f);
     }
 
     /// Notify every write listener that a statement may have written a
@@ -822,7 +894,7 @@ impl Engine {
     /// update statements) and by the ALDSP tier after datagraph
     /// submissions.
     pub fn note_source_write(&self) {
-        for f in self.write_listeners.borrow().iter() {
+        for f in self.inner.write_listeners.borrow().iter() {
             f();
         }
     }
@@ -838,7 +910,7 @@ impl Engine {
         rolled_back: u64,
         replays_skipped: u64,
     ) {
-        let o = &self.opt;
+        let o = &self.inner.opt;
         OptCounters::bump(&o.xa_recovery_runs);
         OptCounters::add(&o.xa_in_doubt, in_doubt);
         OptCounters::add(&o.xa_rolled_forward, rolled_forward);
@@ -848,42 +920,45 @@ impl Engine {
 
     /// Snapshot of the optimizer counters.
     pub fn opt_stats(&self) -> OptStats {
-        let xdm = xdm::xdm_stats().since(&self.xdm_base.get());
+        let xdm = xdm::xdm_stats().since(&self.inner.xdm_base.get());
         OptStats {
-            join_hits: self.opt.join_hits.get(),
-            join_misses: self.opt.join_misses.get(),
-            join_invalidations: self.opt.join_invalidations.get(),
-            mat_hits: self.opt.mat_hits.get(),
-            mat_misses: self.opt.mat_misses.get(),
-            mat_invalidations: self.opt.mat_invalidations.get(),
-            pushdown_rewrites: self.opt.pushdown_rewrites.get(),
-            indexed_selects: self.opt.indexed_selects.get(),
-            plan_hits: self.opt.plan_hits.get(),
-            plan_misses: self.opt.plan_misses.get(),
-            ws_requests: self.opt.ws_requests.get(),
-            ws_issued: self.opt.ws_issued.get(),
-            ws_coalesced: self.opt.ws_coalesced.get(),
-            ws_batches: self.opt.ws_batches.get(),
-            xa_recovery_runs: self.opt.xa_recovery_runs.get(),
-            xa_in_doubt: self.opt.xa_in_doubt.get(),
-            xa_rolled_forward: self.opt.xa_rolled_forward.get(),
-            xa_rolled_back: self.opt.xa_rolled_back.get(),
-            xa_replays_skipped: self.opt.xa_replays_skipped.get(),
-            budget_shed: self.opt.budget_shed.get(),
-            budget_cancelled: self.opt.budget_cancelled.get(),
-            budget_deadline: self.opt.budget_deadline.get(),
-            budget_fuel: self.opt.budget_fuel.get(),
-            budget_memory: self.opt.budget_memory.get(),
+            join_hits: self.inner.opt.join_hits.get(),
+            join_misses: self.inner.opt.join_misses.get(),
+            join_invalidations: self.inner.opt.join_invalidations.get(),
+            mat_hits: self.inner.opt.mat_hits.get(),
+            mat_misses: self.inner.opt.mat_misses.get(),
+            mat_invalidations: self.inner.opt.mat_invalidations.get(),
+            pushdown_rewrites: self.inner.opt.pushdown_rewrites.get(),
+            indexed_selects: self.inner.opt.indexed_selects.get(),
+            plan_hits: self.inner.opt.plan_hits.get(),
+            plan_misses: self.inner.opt.plan_misses.get(),
+            ws_requests: self.inner.opt.ws_requests.get(),
+            ws_issued: self.inner.opt.ws_issued.get(),
+            ws_coalesced: self.inner.opt.ws_coalesced.get(),
+            ws_batches: self.inner.opt.ws_batches.get(),
+            xa_recovery_runs: self.inner.opt.xa_recovery_runs.get(),
+            xa_in_doubt: self.inner.opt.xa_in_doubt.get(),
+            xa_rolled_forward: self.inner.opt.xa_rolled_forward.get(),
+            xa_rolled_back: self.inner.opt.xa_rolled_back.get(),
+            xa_replays_skipped: self.inner.opt.xa_replays_skipped.get(),
+            budget_shed: self.inner.opt.budget_shed.get(),
+            budget_cancelled: self.inner.opt.budget_cancelled.get(),
+            budget_deadline: self.inner.opt.budget_deadline.get(),
+            budget_fuel: self.inner.opt.budget_fuel.get(),
+            budget_memory: self.inner.opt.budget_memory.get(),
             nodes_built: xdm.nodes_built,
             subtrees_grafted: xdm.subtrees_grafted,
             deep_copy_nodes_avoided: xdm.deep_copy_nodes_avoided,
             interned_hits: xdm.interned_hits,
+            tuples_pulled: self.inner.opt.tuples_pulled.get(),
+            early_exits: self.inner.opt.early_exits.get(),
+            items_never_built: self.inner.opt.items_never_built.get(),
         }
     }
 
     /// Reset the optimizer counters (benchmarks isolate phases).
     pub fn reset_opt_stats(&self) {
-        let o = &self.opt;
+        let o = &self.inner.opt;
         o.join_hits.set(0);
         o.join_misses.set(0);
         o.join_invalidations.set(0);
@@ -908,22 +983,25 @@ impl Engine {
         o.budget_deadline.set(0);
         o.budget_fuel.set(0);
         o.budget_memory.set(0);
-        self.xdm_base.set(xdm::xdm_stats());
+        o.tuples_pulled.set(0);
+        o.early_exits.set(0);
+        o.items_never_built.set(0);
+        self.inner.xdm_base.set(xdm::xdm_stats());
     }
 
     /// Shared counter block for the evaluator and source closures.
     pub fn opt_counters(&self) -> Rc<OptCounters> {
-        self.opt.clone()
+        self.inner.opt.clone()
     }
 
     /// Look up a function by expanded name and arity.
     pub fn function(&self, name: &QName, arity: usize) -> Option<FunctionKind> {
-        self.functions.borrow().get(&(name.clone(), arity)).cloned()
+        self.inner.functions.borrow().get(&(name.clone(), arity)).cloned()
     }
 
     /// Look up a procedure by expanded name and arity.
     pub fn procedure(&self, name: &QName, arity: usize) -> Option<ProcKind> {
-        self.procedures.borrow().get(&(name.clone(), arity)).cloned()
+        self.inner.procedures.borrow().get(&(name.clone(), arity)).cloned()
     }
 
     /// Parse a module and register its prolog declarations. Global
@@ -942,7 +1020,7 @@ impl Engine {
             if f.body.is_none() {
                 // `external`: the host must have registered it
                 // already; keep an existing registration.
-                if self.functions.borrow().contains_key(&key) {
+                if self.inner.functions.borrow().contains_key(&key) {
                     continue;
                 }
                 return Err(XdmError::new(
@@ -954,14 +1032,14 @@ impl Engine {
                     ),
                 ));
             }
-            self.functions
+            self.inner.functions
                 .borrow_mut()
                 .insert(key, FunctionKind::User(Rc::new(f.clone())));
         }
         for p in &module.prolog.procedures {
             let key = (p.name.clone(), p.params.len());
             if p.body.is_none() {
-                if self.procedures.borrow().contains_key(&key) {
+                if self.inner.procedures.borrow().contains_key(&key) {
                     continue;
                 }
                 return Err(XdmError::new(
@@ -973,7 +1051,7 @@ impl Engine {
                     ),
                 ));
             }
-            self.procedures
+            self.inner.procedures
                 .borrow_mut()
                 .insert(key, ProcKind::User(Rc::new(p.clone())));
         }
@@ -986,10 +1064,10 @@ impl Engine {
                     if let Some(ty) = &v.ty {
                         ty.check(&value, &format!("declare variable ${}", v.name))?;
                     }
-                    self.globals.borrow_mut().insert(v.name.clone(), value);
+                    self.inner.globals.borrow_mut().insert(v.name.clone(), value);
                 }
                 None => {
-                    if !self.globals.borrow().contains_key(&v.name) {
+                    if !self.inner.globals.borrow().contains_key(&v.name) {
                         return Err(XdmError::new(
                             ErrorCode::XPST0008,
                             format!("external variable ${} is unbound", v.name),
@@ -1021,18 +1099,18 @@ impl Engine {
         if !self.plan_caching_enabled() {
             return self.prepare_uncached(src, false);
         }
-        let gen = self.registry_gen.get();
-        let hit = self.plan_cache.borrow_mut().get(src).cloned();
+        let gen = self.inner.registry_gen.get();
+        let hit = self.inner.plan_cache.borrow_mut().get(src).cloned();
         if let Some(pq) = hit {
             if pq.gen == gen {
-                OptCounters::bump(&self.opt.plan_hits);
+                OptCounters::bump(&self.inner.opt.plan_hits);
                 self.reinstall_prolog(&pq);
                 return Ok(pq);
             }
         }
-        OptCounters::bump(&self.opt.plan_misses);
+        OptCounters::bump(&self.inner.opt.plan_misses);
         let pq = self.prepare_uncached(src, true)?;
-        self.plan_cache.borrow_mut().insert(src.to_string(), pq.clone());
+        self.inner.plan_cache.borrow_mut().insert(src.to_string(), pq.clone());
         Ok(pq)
     }
 
@@ -1050,7 +1128,7 @@ impl Engine {
             if v.value.is_none() {
                 continue;
             }
-            if let Some(val) = self.globals.borrow().get(&v.name) {
+            if let Some(val) = self.inner.globals.borrow().get(&v.name) {
                 globals.push((v.name.clone(), val.clone()));
             }
         }
@@ -1071,7 +1149,7 @@ impl Engine {
             folded_body,
             resolved,
             globals,
-            gen: self.registry_gen.get(),
+            gen: self.inner.registry_gen.get(),
         }))
     }
 
@@ -1082,7 +1160,7 @@ impl Engine {
     fn reinstall_prolog(&self, pq: &PreparedQuery) {
         for f in &pq.module.prolog.functions {
             if f.body.is_some() {
-                self.functions.borrow_mut().insert(
+                self.inner.functions.borrow_mut().insert(
                     (f.name.clone(), f.params.len()),
                     FunctionKind::User(Rc::new(f.clone())),
                 );
@@ -1090,14 +1168,14 @@ impl Engine {
         }
         for p in &pq.module.prolog.procedures {
             if p.body.is_some() {
-                self.procedures.borrow_mut().insert(
+                self.inner.procedures.borrow_mut().insert(
                     (p.name.clone(), p.params.len()),
                     ProcKind::User(Rc::new(p.clone())),
                 );
             }
         }
         for (name, val) in &pq.globals {
-            self.globals.borrow_mut().insert(name.clone(), val.clone());
+            self.inner.globals.borrow_mut().insert(name.clone(), val.clone());
         }
     }
 
@@ -1172,5 +1250,54 @@ impl Engine {
         env: &mut Env,
     ) -> XdmResult<Sequence> {
         Evaluator::new(self).call_function(name, args, env)
+    }
+
+    /// Like [`Engine::eval_query`], but the top-level result may be
+    /// **lazy**: when the body is an eligible FLWOR chain, the
+    /// returned sequence is a live pull stream, and the caller drains
+    /// it through the fallible API (`Sequence::try_item`) — the
+    /// streaming serializers in `xqsh` and the serving pool do exactly
+    /// that, emitting output while tuples are still being produced.
+    /// Mid-stream errors (including budget expiry charged per pulled
+    /// tuple) surface from the drain, so callers of this entry MUST
+    /// consume the result fallibly. Everything else — ineligible
+    /// bodies, the kill switch, non-expression bodies — degrades to
+    /// the eager [`Engine::eval_query`] result.
+    pub fn eval_query_lazy(&self, src: &str) -> XdmResult<Sequence> {
+        if self.plan_caching_enabled() {
+            let pq = self.prepare(src)?;
+            let mut env = Env::new();
+            return self.execute_prepared_lazy_in(&pq, &mut env);
+        }
+        let module = self.load(src)?;
+        match &module.body {
+            QueryBody::Expr(e) => {
+                let mut env = Env::new();
+                Evaluator::new(self).eval_stream(e, &mut env)
+            }
+            QueryBody::None => Ok(Sequence::empty()),
+            QueryBody::Block(_) => Err(XdmError::new(
+                ErrorCode::XPST0003,
+                "query body is an XQSE block; use the xqse statement engine",
+            )),
+        }
+    }
+
+    /// [`Engine::execute_prepared_in`] with a possibly-lazy result —
+    /// see [`Engine::eval_query_lazy`] for the caller contract.
+    pub fn execute_prepared_lazy_in(
+        &self,
+        pq: &PreparedQuery,
+        env: &mut Env,
+    ) -> XdmResult<Sequence> {
+        match (&pq.folded_body, &pq.module.body) {
+            (Some(e), _) => Evaluator::new(self).eval_stream(e, env),
+            (None, QueryBody::Expr(e)) => Evaluator::new(self).eval_stream(e, env),
+            (None, QueryBody::None) => Ok(Sequence::empty()),
+            (None, QueryBody::Block(_)) => Err(XdmError::new(
+                ErrorCode::XPST0003,
+                "query body is an XQSE block; use the xqse statement engine",
+            )),
+        }
     }
 }

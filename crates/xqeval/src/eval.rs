@@ -21,7 +21,7 @@ use xdm::atomic::{to_f64, AtomicType, AtomicValue};
 use xdm::decimal::Decimal;
 use xdm::error::{ErrorCode, XdmError, XdmResult};
 use xdm::node::{NodeArena, NodeHandle, NodeKind, SharedArena};
-use xdm::qname::{QName, XS_NS};
+use xdm::qname::{QName, FN_NS, XS_NS};
 use xdm::sequence::{Item, Sequence};
 
 
@@ -166,6 +166,79 @@ impl<'e> Evaluator<'e> {
         Evaluator { engine }
     }
 
+    /// Evaluate an expression, allowing a **lazy** result: an eligible
+    /// top-level FLWOR chain comes back as a pull stream whose tuples
+    /// are produced on demand (see `crate::stream`). This is the
+    /// engine's streaming entry point (`Engine::eval_query_lazy`);
+    /// callers must consume the result through the fallible Sequence
+    /// API (`try_item` / `into_forced`) so deferred errors surface.
+    pub fn eval_stream(&self, expr: &Expr, env: &mut Env) -> XdmResult<Sequence> {
+        self.eval_lazy(expr, env)
+    }
+
+    /// Like [`Evaluator::eval`], but an eligible FLWOR chain is
+    /// returned as a lazy sequence instead of being materialized.
+    /// Everything else falls through to strict evaluation, so the
+    /// result is lazy *only* for the one shape the stream understands
+    /// — the invariant that `eval` itself never returns a lazy
+    /// sequence is what keeps the legacy infallible accessors safe.
+    pub(crate) fn eval_lazy(&self, expr: &Expr, env: &mut Env) -> XdmResult<Sequence> {
+        if let Expr::Flwor { clauses, ret } = expr {
+            if self.flwor_streamable(clauses, env) {
+                // Mirror eval()'s per-step fuel charge for the
+                // expression node itself; per-tuple charges follow as
+                // the stream is pulled.
+                self.engine.budget_step()?;
+                return Ok(crate::stream::flwor_stream(self.engine, clauses, ret, env));
+            }
+        }
+        self.eval(expr, env)
+    }
+
+    /// Can this clause chain run on the pull pipeline? Requires the
+    /// lazy engine to be enabled, expression context (no open
+    /// pending-update list), no `order by` (a sort is a full barrier),
+    /// and that none of the eager rewrites (predicate pushdown,
+    /// hash-join, batched source access) would claim a `for`/`where`
+    /// pair — those skip work outright, which beats deferring it, and
+    /// the kill switch must not change when they fire.
+    fn flwor_streamable(&self, clauses: &[FlworClause], env: &Env) -> bool {
+        if !self.engine.lazy_enabled() || env.pul.is_some() {
+            return false;
+        }
+        for (i, c) in clauses.iter().enumerate() {
+            match c {
+                FlworClause::OrderBy(_) => return false,
+                FlworClause::For { var, pos, source } => {
+                    let next = clauses.get(i + 1);
+                    if self.engine.optimize_enabled()
+                        && pos.is_none()
+                        && self.detect_pushdown(var, source, next).is_some()
+                    {
+                        return false;
+                    }
+                    if pos.is_none()
+                        && self.engine.join_rewrite_enabled()
+                        && self.detect_join(var, source, next).is_some()
+                    {
+                        return false;
+                    }
+                    if self.engine.optimize_enabled() && self.engine.batch_enabled() {
+                        if let Expr::FunctionCall { name, args } = source {
+                            if args.len() == 1
+                                && self.engine.batchable(name, 1).is_some()
+                            {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                FlworClause::Let { .. } | FlworClause::Where(_) => {}
+            }
+        }
+        true
+    }
+
     /// Evaluate an expression to a sequence.
     pub fn eval(&self, expr: &Expr, env: &mut Env) -> XdmResult<Sequence> {
         // Per-request budget: one fuel unit per evaluation step. The
@@ -247,6 +320,11 @@ impl<'e> Evaluator<'e> {
                 Ok(Sequence::one(Item::boolean(rb)))
             }
             Expr::General(op, l, r) => {
+                if let Some(res) =
+                    self.streaming_count_cmp(CountCmp::General(*op), l, r, env)
+                {
+                    return res;
+                }
                 let lv = self.eval(l, env)?.atomized();
                 let rv = self.eval(r, env)?.atomized();
                 let mut hit = false;
@@ -261,6 +339,11 @@ impl<'e> Evaluator<'e> {
                 Ok(Sequence::one(Item::boolean(hit)))
             }
             Expr::Value(op, l, r) => {
+                if let Some(res) =
+                    self.streaming_count_cmp(CountCmp::Value(*op), l, r, env)
+                {
+                    return res;
+                }
                 let lv = self.eval(l, env)?;
                 let rv = self.eval(r, env)?;
                 let (Some(a), Some(b)) = (
@@ -272,14 +355,7 @@ impl<'e> Evaluator<'e> {
                 let ord = a.value_compare(&b)?;
                 let res = match ord {
                     None => false, // NaN
-                    Some(o) => match op {
-                        ValueComp::Eq => o == Ordering::Equal,
-                        ValueComp::Ne => o != Ordering::Equal,
-                        ValueComp::Lt => o == Ordering::Less,
-                        ValueComp::Le => o != Ordering::Greater,
-                        ValueComp::Gt => o == Ordering::Greater,
-                        ValueComp::Ge => o != Ordering::Less,
-                    },
+                    Some(o) => value_comp_holds(*op, o),
                 };
                 Ok(Sequence::one(Item::boolean(res)))
             }
@@ -359,6 +435,14 @@ impl<'e> Evaluator<'e> {
             }
             Expr::Path { start, steps } => self.eval_path(start, steps, env),
             Expr::Filter { base, predicates } => {
+                if self.engine.lazy_enabled() {
+                    if let Some((first, rest)) = predicates.split_first() {
+                        if let Some(win) = positional_window(first) {
+                            return self
+                                .streaming_positional_filter(base, win, rest, env);
+                        }
+                    }
+                }
                 let mut seq = self.eval(base, env)?;
                 for p in predicates {
                     seq = self.apply_predicate(seq, p, env)?;
@@ -366,6 +450,9 @@ impl<'e> Evaluator<'e> {
                 Ok(seq)
             }
             Expr::FunctionCall { name, args } => {
+                if let Some(r) = self.try_streaming_call(name, args, env) {
+                    return r;
+                }
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
                     argv.push(self.eval(a, env)?);
@@ -926,7 +1013,8 @@ impl<'e> Evaluator<'e> {
                     tuples = kept;
                 }
                 FlworClause::OrderBy(specs) => {
-                    // Compute keys per tuple, then stable sort.
+                    // Compute keys per tuple, then stable sort through
+                    // the one shared sorter (error capture included).
                     let mut keyed: Vec<(Vec<Option<AtomicValue>>, Tuple)> =
                         Vec::with_capacity(tuples.len());
                     for tuple in tuples {
@@ -937,27 +1025,7 @@ impl<'e> Evaluator<'e> {
                         }
                         keyed.push((keys, tuple));
                     }
-                    let mut sort_err: Option<XdmError> = None;
-                    keyed.sort_by(|(ka, _), (kb, _)| {
-                        for (i, spec) in specs.iter().enumerate() {
-                            let o = order_keys(&ka[i], &kb[i], spec);
-                            match o {
-                                Ok(Ordering::Equal) => continue,
-                                Ok(o) => return o,
-                                Err(e) => {
-                                    if sort_err.is_none() {
-                                        sort_err = Some(e);
-                                    }
-                                    return Ordering::Equal;
-                                }
-                            }
-                        }
-                        Ordering::Equal
-                    });
-                    if let Some(e) = sort_err {
-                        return Err(e);
-                    }
-                    tuples = keyed.into_iter().map(|(_, t)| t).collect();
+                    tuples = order_by_sort(keyed, specs)?;
                 }
             }
             i += 1;
@@ -1142,6 +1210,11 @@ impl<'e> Evaluator<'e> {
             }
         }
         let entry = Rc::new(JoinCacheEntry { seq, idx: index, stamp });
+        // Cached entries must be fully materialized: `eval` never
+        // returns a lazy sequence (the §11 choke-point invariant), so
+        // a stream can never be stored — and later replayed with its
+        // pull state half-consumed — through this cache.
+        debug_assert!(!entry.seq.is_lazy(), "join cache must not hold lazy sequences");
         env_join_cache(env).insert(cache_key, entry.clone());
         Ok(entry)
     }
@@ -1163,10 +1236,15 @@ impl<'e> Evaluator<'e> {
             match bindings.split_first() {
                 None => this.eval(satisfies, env)?.effective_boolean(),
                 Some(((var, src), rest)) => {
-                    let seq = this.eval(src, env)?;
-                    for item in seq.iter() {
+                    // Bindings are pulled one item at a time so the
+                    // quantifier's short-circuit stops a lazy source
+                    // mid-stream; on an eager source `try_item` is
+                    // plain slice access and this is the old loop.
+                    let seq = this.eval_lazy(src, env)?;
+                    let mut i = 0usize;
+                    while let Some(item) = seq.try_item(i)? {
                         env.push_scope();
-                        env.bind(var.clone(), Sequence::one(item.clone()));
+                        env.bind(var.clone(), Sequence::one(item));
                         let r = walk(this, rest, satisfies, env, every);
                         env.pop_scope();
                         let r = r?;
@@ -1175,6 +1253,7 @@ impl<'e> Evaluator<'e> {
                             // every: found false → short-circuit false.
                             return Ok(!every);
                         }
+                        i += 1;
                     }
                     Ok(every)
                 }
@@ -1294,6 +1373,207 @@ impl<'e> Evaluator<'e> {
             }
         }
         Ok(Sequence::from_items(out))
+    }
+
+    // ------------------------------------------- early-exit consumers
+    //
+    // The interceptors below recognize consumers whose answer is
+    // decided by a bounded prefix of their sequence argument, evaluate
+    // that argument through `eval_lazy`, and pull only as far as the
+    // answer requires. On an eager argument `try_item` is plain slice
+    // access, so the rewrites are value-equivalent both kill-switch
+    // ways; they are still gated on `lazy_enabled` so the kill switch
+    // restores the strict evaluation order exactly. Documented
+    // deviation (DESIGN §11): work past the early exit — including
+    // error-raising expressions — is never performed, and window/bound
+    // operands are evaluated before the sequence operand.
+
+    /// Intercept `fn:exists`/`fn:empty` (one pull decides) and
+    /// `fn:subsequence` (pulls stop at the window's end). `None` means
+    /// "not intercepted — evaluate the call normally".
+    fn try_streaming_call(
+        &self,
+        name: &QName,
+        args: &[Expr],
+        env: &mut Env,
+    ) -> Option<XdmResult<Sequence>> {
+        if !self.engine.lazy_enabled() || name.ns.as_deref() != Some(FN_NS) {
+            return None;
+        }
+        // `call_function_inner` consults builtins before user
+        // registries, so a `fn:`-namespace match here can never shadow
+        // a user function.
+        match (&*name.local, args.len()) {
+            ("exists", 1) => Some((|| {
+                let s = self.eval_lazy(&args[0], env)?;
+                Ok(Sequence::one(Item::boolean(!s.try_is_empty()?)))
+            })()),
+            ("empty", 1) => Some((|| {
+                let s = self.eval_lazy(&args[0], env)?;
+                Ok(Sequence::one(Item::boolean(s.try_is_empty()?)))
+            })()),
+            ("subsequence", 2) | ("subsequence", 3) => {
+                Some(self.streaming_subsequence(args, env))
+            }
+            _ => None,
+        }
+    }
+
+    /// `fn:subsequence` over a pull stream: replicate the builtin's
+    /// window arithmetic (`round()`ed start/length, keep positions
+    /// `p >= start && p < start + len`) but stop pulling at the end of
+    /// the window — a page over a large chain touches only the tuples
+    /// up to the page's edge.
+    fn streaming_subsequence(&self, args: &[Expr], env: &mut Env) -> XdmResult<Sequence> {
+        let start = functions::one_double(&self.eval(&args[1], env)?, "fn:subsequence")?
+            .round();
+        let len = if args.len() == 3 {
+            functions::one_double(&self.eval(&args[2], env)?, "fn:subsequence")?.round()
+        } else {
+            f64::INFINITY
+        };
+        let s = self.eval_lazy(&args[0], env)?;
+        let end = start + len; // NaN bounds close the window immediately
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        loop {
+            let p = i as f64 + 1.0;
+            // Stop unless strictly inside the window: `p >= end`, or a
+            // NaN bound (incomparable), both close it.
+            if p.partial_cmp(&end) != Some(std::cmp::Ordering::Less) {
+                break;
+            }
+            match s.try_item(i)? {
+                Some(item) => {
+                    if p >= start {
+                        out.push(item);
+                    }
+                }
+                None => break,
+            }
+            i += 1;
+        }
+        Ok(Sequence::from_items(out))
+    }
+
+    /// Intercept `count($x) <op> N` (numeric literal on either side):
+    /// pulling `floor(N) + 2` items decides every comparison against
+    /// `N`, so the chain is never drained past that cutoff.
+    fn streaming_count_cmp(
+        &self,
+        cmp: CountCmp,
+        l: &Expr,
+        r: &Expr,
+        env: &mut Env,
+    ) -> Option<XdmResult<Sequence>> {
+        if !self.engine.lazy_enabled() {
+            return None;
+        }
+        fn counted_arg(e: &Expr) -> Option<&Expr> {
+            let Expr::FunctionCall { name, args } = e else { return None };
+            if name.ns.as_deref() == Some(FN_NS)
+                && name.local == "count"
+                && args.len() == 1
+            {
+                Some(&args[0])
+            } else {
+                None
+            }
+        }
+        let (counted, bound, count_on_left) = match (counted_arg(l), counted_arg(r)) {
+            (Some(x), _) => (x, numeric_literal(r)?, true),
+            (_, Some(x)) => (x, numeric_literal(l)?, false),
+            _ => return None,
+        };
+        let b = to_f64(&bound).ok()?;
+        if !b.is_finite() {
+            return None;
+        }
+        Some((|| {
+            let s = self.eval_lazy(counted, env)?;
+            let cutoff = b.max(0.0).floor() as usize + 2;
+            let mut n = 0usize;
+            let exact = loop {
+                if n == cutoff {
+                    break false; // at least `cutoff` items: count > b
+                }
+                if s.try_item(n)?.is_none() {
+                    break true;
+                }
+                n += 1;
+            };
+            let res = if exact {
+                let count = AtomicValue::Integer(n as i64);
+                let (a, bv) =
+                    if count_on_left { (&count, &bound) } else { (&bound, &count) };
+                match cmp {
+                    CountCmp::General(op) => general_pair_matches(op, a, bv)?,
+                    CountCmp::Value(op) => match a.value_compare(bv)? {
+                        None => false,
+                        Some(o) => value_comp_holds(op, o),
+                    },
+                }
+            } else {
+                // Cutoff reached: the count exceeds the bound, which
+                // fixes the operand ordering without knowing the count.
+                let o = if count_on_left {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
+                match cmp {
+                    CountCmp::General(op) => general_comp_holds(op, o),
+                    CountCmp::Value(op) => value_comp_holds(op, o),
+                }
+            };
+            Ok(Sequence::one(Item::boolean(res)))
+        })())
+    }
+
+    /// A positional first predicate (`[k]`, `[position() lt N]`, …)
+    /// over a pull stream: produce the selected prefix/slot directly,
+    /// pulling no further than the window's edge, then apply any
+    /// remaining predicates normally.
+    fn streaming_positional_filter(
+        &self,
+        base: &Expr,
+        win: PosWindow,
+        rest: &[Expr],
+        env: &mut Env,
+    ) -> XdmResult<Sequence> {
+        let s = self.eval_lazy(base, env)?;
+        let mut out: Vec<Item> = Vec::new();
+        match win {
+            PosWindow::Exact(k) => {
+                // Only an integral position ≥ 1 can match; any other
+                // numeric selects nothing from any sequence.
+                if k >= 1.0 && k.fract() == 0.0 && k <= u32::MAX as f64 {
+                    if let Some(item) = s.try_item(k as usize - 1)? {
+                        out.push(item);
+                    }
+                }
+            }
+            PosWindow::UpTo { bound, inclusive } => {
+                let mut i = 0usize;
+                loop {
+                    let p = i as f64 + 1.0;
+                    let keep = if inclusive { p <= bound } else { p < bound };
+                    if !keep {
+                        break;
+                    }
+                    match s.try_item(i)? {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let mut seq = Sequence::from_items(out);
+        for p in rest {
+            seq = self.apply_predicate(seq, p, env)?;
+        }
+        Ok(seq)
     }
 
     // -------------------------------------------------------- functions
@@ -1743,6 +2023,37 @@ fn general_pair_matches(
     })
 }
 
+/// Stable-sort rows by their precomputed `order by` keys. Comparator
+/// errors (incomparable key pairs) cannot unwind out of `sort_by`, so
+/// the first one is captured and re-raised after the sort finishes —
+/// this is the single shared implementation of the clause's
+/// error-capture contract for every order-by evaluation site.
+pub(crate) fn order_by_sort<T>(
+    mut keyed: Vec<(Vec<Option<AtomicValue>>, T)>,
+    specs: &[OrderSpec],
+) -> XdmResult<Vec<T>> {
+    let mut sort_err: Option<XdmError> = None;
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, spec) in specs.iter().enumerate() {
+            match order_keys(&ka[i], &kb[i], spec) {
+                Ok(Ordering::Equal) => continue,
+                Ok(o) => return o,
+                Err(e) => {
+                    if sort_err.is_none() {
+                        sort_err = Some(e);
+                    }
+                    return Ordering::Equal;
+                }
+            }
+        }
+        Ordering::Equal
+    });
+    match sort_err {
+        Some(e) => Err(e),
+        None => Ok(keyed.into_iter().map(|(_, t)| t).collect()),
+    }
+}
+
 fn order_keys(
     a: &Option<AtomicValue>,
     b: &Option<AtomicValue>,
@@ -1771,6 +2082,124 @@ fn order_keys(
         }
     };
     Ok(if spec.descending { o.reverse() } else { o })
+}
+
+/// Which comparison family a `count(...) <op> N` interception came
+/// from — the two families agree on singleton numerics, but each is
+/// decided through its own machinery to keep promotions identical.
+enum CountCmp {
+    General(GeneralComp),
+    Value(ValueComp),
+}
+
+/// The window a positional first predicate selects.
+enum PosWindow {
+    /// `[k]` or `[position() eq k]` — a single slot.
+    Exact(f64),
+    /// `[position() lt N]` / `[position() le N]` — a prefix.
+    UpTo { bound: f64, inclusive: bool },
+}
+
+fn numeric_literal(e: &Expr) -> Option<AtomicValue> {
+    if let Expr::Literal(a) = e {
+        if a.type_of().is_numeric() {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+fn value_comp_holds(op: ValueComp, o: Ordering) -> bool {
+    match op {
+        ValueComp::Eq => o == Ordering::Equal,
+        ValueComp::Ne => o != Ordering::Equal,
+        ValueComp::Lt => o == Ordering::Less,
+        ValueComp::Le => o != Ordering::Greater,
+        ValueComp::Gt => o == Ordering::Greater,
+        ValueComp::Ge => o != Ordering::Less,
+    }
+}
+
+fn general_comp_holds(op: GeneralComp, o: Ordering) -> bool {
+    match op {
+        GeneralComp::Eq => o == Ordering::Equal,
+        GeneralComp::Ne => o != Ordering::Equal,
+        GeneralComp::Lt => o == Ordering::Less,
+        GeneralComp::Le => o != Ordering::Greater,
+        GeneralComp::Gt => o == Ordering::Greater,
+        GeneralComp::Ge => o != Ordering::Less,
+    }
+}
+
+/// Recognize a first predicate that selects by position alone:
+/// a numeric literal, or `position()` compared against a numeric
+/// literal with an operator that bounds a prefix. `ge`/`gt`/`ne`
+/// shapes keep the whole tail and gain nothing from streaming, so
+/// they are not recognized.
+fn positional_window(pred: &Expr) -> Option<PosWindow> {
+    if let Some(a) = numeric_literal(pred) {
+        return to_f64(&a).ok().map(PosWindow::Exact);
+    }
+    #[derive(Clone, Copy)]
+    enum Rel {
+        Eq,
+        Lt,
+        Le,
+        Gt,
+        Ge,
+    }
+    let (rel, l, r) = match pred {
+        Expr::General(op, l, r) => {
+            let rel = match op {
+                GeneralComp::Eq => Rel::Eq,
+                GeneralComp::Lt => Rel::Lt,
+                GeneralComp::Le => Rel::Le,
+                GeneralComp::Gt => Rel::Gt,
+                GeneralComp::Ge => Rel::Ge,
+                GeneralComp::Ne => return None,
+            };
+            (rel, &**l, &**r)
+        }
+        Expr::Value(op, l, r) => {
+            let rel = match op {
+                ValueComp::Eq => Rel::Eq,
+                ValueComp::Lt => Rel::Lt,
+                ValueComp::Le => Rel::Le,
+                ValueComp::Gt => Rel::Gt,
+                ValueComp::Ge => Rel::Ge,
+                ValueComp::Ne => return None,
+            };
+            (rel, &**l, &**r)
+        }
+        _ => return None,
+    };
+    let is_position = |e: &Expr| -> bool {
+        matches!(e, Expr::FunctionCall { name, args }
+            if args.is_empty()
+                && name.ns.as_deref() == Some(FN_NS)
+                && name.local == "position")
+    };
+    let bound_of = |e: &Expr| numeric_literal(e).and_then(|a| to_f64(&a).ok());
+    if is_position(l) {
+        let bound = bound_of(r)?;
+        return match rel {
+            Rel::Eq => Some(PosWindow::Exact(bound)),
+            Rel::Lt => Some(PosWindow::UpTo { bound, inclusive: false }),
+            Rel::Le => Some(PosWindow::UpTo { bound, inclusive: true }),
+            Rel::Gt | Rel::Ge => None,
+        };
+    }
+    if is_position(r) {
+        let bound = bound_of(l)?;
+        // Flipped operand order: `N gt position()` keeps a prefix.
+        return match rel {
+            Rel::Eq => Some(PosWindow::Exact(bound)),
+            Rel::Gt => Some(PosWindow::UpTo { bound, inclusive: false }),
+            Rel::Ge => Some(PosWindow::UpTo { bound, inclusive: true }),
+            Rel::Lt | Rel::Le => None,
+        };
+    }
+    None
 }
 
 fn predicate_truth(v: &Sequence, position: usize) -> XdmResult<bool> {

@@ -74,7 +74,9 @@ fn one_integer(seq: &Sequence, what: &str) -> XdmResult<i64> {
     }
 }
 
-fn one_double(seq: &Sequence, what: &str) -> XdmResult<f64> {
+// Shared with the evaluator's streaming `fn:subsequence` interceptor,
+// which must replicate the builtin's window arithmetic exactly.
+pub(crate) fn one_double(seq: &Sequence, what: &str) -> XdmResult<f64> {
     to_f64(&one_atomic(seq, what)?)
 }
 

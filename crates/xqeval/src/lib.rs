@@ -28,6 +28,7 @@ pub mod eval;
 pub mod fold;
 pub mod functions;
 pub mod regex_lite;
+pub(crate) mod stream;
 pub mod update;
 
 pub use budget::{Budget, BudgetClock, BudgetExceeded};

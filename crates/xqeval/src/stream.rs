@@ -1,0 +1,271 @@
+//! Streaming FLWOR evaluation — the pull pipeline behind lazy
+//! sequences.
+//!
+//! [`FlworStream`] walks a `for`/`let`/`where` clause chain like an
+//! odometer: each `for` clause holds its source sequence and a cursor,
+//! and producing the next output item advances the innermost cursor
+//! that still has items, refilling the clauses below it. Tuples are
+//! therefore *pulled* one at a time by whoever consumes the resulting
+//! [`Sequence`] — a pager, an `exists()` probe, or the incremental
+//! serializer — instead of being materialized as the eager
+//! `eval_flwor` tuple vectors.
+//!
+//! The stream owns everything it needs to run after the originating
+//! `eval` call returns: a cheap [`Engine`] handle, a forked [`Env`]
+//! snapshot of the visible bindings, and a clone of the clause/return
+//! AST. Eligibility (no `order by`, no pending-update list, none of
+//! the eager rewrites claiming the shape) is decided up front by
+//! `Evaluator::eval_lazy`; this module assumes the chain qualifies.
+//!
+//! Budget accounting: every tuple pulled charges one fuel/deadline
+//! step through [`Engine::budget_step`], on top of the steps the
+//! clause and return expressions charge themselves, so a paused or
+//! abandoned stream can never out-run the budget its request started
+//! with.
+
+use xdm::error::XdmResult;
+use xdm::sequence::{Item, ItemSource, Sequence};
+use xqparser::ast::{Expr, FlworClause};
+
+use crate::context::Env;
+use crate::engine::{Engine, OptCounters};
+use crate::eval::Evaluator;
+
+/// Per-clause iteration state. Only `for` clauses carry a cursor;
+/// `let` and `where` slots stay [`Slot::Inert`].
+enum Slot {
+    Inert,
+    For { seq: Sequence, idx: usize },
+}
+
+/// A pull source producing the items of a `for`/`let`/`where`/`return`
+/// chain one tuple at a time. See the module docs.
+pub(crate) struct FlworStream {
+    engine: Engine,
+    env: Env,
+    clauses: Vec<FlworClause>,
+    ret: Expr,
+    slots: Vec<Slot>,
+    /// Number of clauses currently entered; each entered clause owns
+    /// exactly one scope on `env`, pushed on entry, popped on
+    /// backtrack.
+    depth: usize,
+    started: bool,
+    /// True once the consumer has seen the end of the stream (or a
+    /// terminal error): a fully drained stream is not an early exit.
+    done: bool,
+    /// Return-value items of the current tuple not yet handed out.
+    pending: Option<Sequence>,
+    pending_idx: usize,
+}
+
+impl FlworStream {
+    fn new(
+        engine: &Engine,
+        clauses: &[FlworClause],
+        ret: &Expr,
+        env: &Env,
+    ) -> FlworStream {
+        FlworStream {
+            engine: engine.clone(),
+            env: env.fork_for_stream(),
+            clauses: clauses.to_vec(),
+            ret: ret.clone(),
+            slots: (0..clauses.len()).map(|_| Slot::Inert).collect(),
+            depth: 0,
+            started: false,
+            done: false,
+            pending: None,
+            pending_idx: 0,
+        }
+    }
+
+    /// Enter clauses `from..`, binding the first item of every `for`.
+    /// Returns false when the pipeline is exhausted (some outer `for`
+    /// ran dry while refilling).
+    fn fill_from(&mut self, from: usize) -> XdmResult<bool> {
+        let mut i = from;
+        while i < self.clauses.len() {
+            if self.enter_clause(i)? {
+                i += 1;
+            } else {
+                match self.backtrack()? {
+                    Some(j) => i = j,
+                    None => return Ok(false),
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Enter clause `i` against the current bindings. Returns false on
+    /// a dead end: an empty `for` source or a false `where`.
+    fn enter_clause(&mut self, i: usize) -> XdmResult<bool> {
+        match &self.clauses[i] {
+            FlworClause::For { var, pos, source } => {
+                let seq =
+                    Evaluator::new(&self.engine).eval_lazy(source, &mut self.env)?;
+                match seq.try_item(0)? {
+                    Some(item) => {
+                        self.env.push_scope();
+                        self.env.bind(var.clone(), Sequence::one(item));
+                        if let Some(p) = pos {
+                            self.env.bind(p.clone(), Sequence::one(Item::integer(1)));
+                        }
+                        self.slots[i] = Slot::For { seq, idx: 0 };
+                        self.depth = i + 1;
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                }
+            }
+            FlworClause::Let { var, ty, value } => {
+                // Let values are forced eagerly: a bound variable can
+                // flow into arbitrary downstream expressions, and only
+                // the stream's own choke points may hold un-forced
+                // lazy sequences (see DESIGN §11).
+                let v = Evaluator::new(&self.engine).eval(value, &mut self.env)?;
+                if let Some(ty) = ty {
+                    ty.check(&v, &format!("let ${var}"))?;
+                }
+                self.env.push_scope();
+                self.env.bind(var.clone(), v);
+                self.slots[i] = Slot::Inert;
+                self.depth = i + 1;
+                Ok(true)
+            }
+            FlworClause::Where(cond) => {
+                // `effective_boolean` on a lazy condition pulls at
+                // most two items — a nested stream short-circuits.
+                let b = Evaluator::new(&self.engine)
+                    .eval_lazy(cond, &mut self.env)?
+                    .effective_boolean()?;
+                self.env.push_scope();
+                self.slots[i] = Slot::Inert;
+                self.depth = i + 1;
+                Ok(b)
+            }
+            FlworClause::OrderBy(_) => unreachable!(
+                "order by is screened out by the streamability gate"
+            ),
+        }
+    }
+
+    /// Pop entered clauses innermost-first until some `for` cursor can
+    /// advance; rebind it and return the clause index to resume
+    /// filling from. `None` when every `for` is exhausted.
+    fn backtrack(&mut self) -> XdmResult<Option<usize>> {
+        while self.depth > 0 {
+            let j = self.depth - 1;
+            self.env.pop_scope();
+            self.depth = j;
+            if let Slot::For { seq, idx } = &mut self.slots[j] {
+                match seq.try_item(*idx + 1)? {
+                    Some(item) => {
+                        *idx += 1;
+                        let position = *idx as i64 + 1;
+                        let FlworClause::For { var, pos, .. } = &self.clauses[j]
+                        else {
+                            unreachable!("for slot on a non-for clause")
+                        };
+                        self.env.push_scope();
+                        self.env.bind(var.clone(), Sequence::one(item));
+                        if let Some(p) = pos {
+                            self.env
+                                .bind(p.clone(), Sequence::one(Item::integer(position)));
+                        }
+                        self.depth = j + 1;
+                        return Ok(Some(j + 1));
+                    }
+                    None => self.slots[j] = Slot::Inert,
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn advance(&mut self) -> XdmResult<Option<Item>> {
+        loop {
+            if let Some(p) = &self.pending {
+                if let Some(item) = p.try_item(self.pending_idx)? {
+                    self.pending_idx += 1;
+                    return Ok(Some(item));
+                }
+                self.pending = None;
+            }
+            let have = if self.started {
+                match self.backtrack()? {
+                    Some(j) => self.fill_from(j)?,
+                    None => false,
+                }
+            } else {
+                self.started = true;
+                self.fill_from(0)?
+            };
+            if !have {
+                return Ok(None);
+            }
+            // One fuel/deadline step per pulled tuple, so early-exit
+            // consumers are charged for exactly the work they caused.
+            self.engine.budget_step()?;
+            OptCounters::bump(&self.engine.opt_counters().tuples_pulled);
+            self.pending = Some(
+                Evaluator::new(&self.engine).eval_lazy(&self.ret, &mut self.env)?,
+            );
+            self.pending_idx = 0;
+        }
+    }
+}
+
+impl ItemSource for FlworStream {
+    fn next_item(&mut self) -> XdmResult<Option<Item>> {
+        if self.done {
+            return Ok(None);
+        }
+        let r = self.advance();
+        if !matches!(r, Ok(Some(_))) {
+            // Exhausted or errored: either way the consumer saw this
+            // stream to its end, so dropping it is not an early exit.
+            self.done = true;
+        }
+        r
+    }
+}
+
+impl Drop for FlworStream {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let opt = self.engine.opt_counters();
+        OptCounters::bump(&opt.early_exits);
+        // Count what the early exit verifiably skipped: items whose
+        // existence is already known (eager or fused sources) but that
+        // were never consumed. Live lazy sources of unknown length are
+        // not guessed at, so this is a lower bound.
+        let mut skipped: u64 = 0;
+        for slot in &self.slots {
+            if let Slot::For { seq, idx } = slot {
+                if let Some(n) = seq.known_len() {
+                    skipped += n.saturating_sub(*idx + 1) as u64;
+                }
+            }
+        }
+        if let Some(p) = &self.pending {
+            if let Some(n) = p.known_len() {
+                skipped += n.saturating_sub(self.pending_idx) as u64;
+            }
+        }
+        OptCounters::add(&opt.items_never_built, skipped);
+    }
+}
+
+/// Wrap an eligible FLWOR chain as a lazy [`Sequence`].
+pub(crate) fn flwor_stream(
+    engine: &Engine,
+    clauses: &[FlworClause],
+    ret: &Expr,
+    env: &Env,
+) -> Sequence {
+    Sequence::lazy(Box::new(FlworStream::new(engine, clauses, ret, env)))
+}

@@ -1002,3 +1002,192 @@ fn prepared_constant_folding_matches_unfolded_result() {
     assert_eq!(as_string(&cached), as_string(&plain));
     assert_eq!(as_string(&cached), "true");
 }
+
+// ----------------------------------------------- streaming / lazy eval
+
+#[test]
+fn subsequence_page_early_exits_the_stream() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("subsequence(for $i in 1 to 10000 return $i * 2, 1, 5)")
+        .unwrap();
+    assert_eq!(ints(&out), vec![2, 4, 6, 8, 10]);
+    let s = engine.opt_stats();
+    assert_eq!(s.tuples_pulled, 5, "only the page's tuples are produced");
+    assert_eq!(s.early_exits, 1);
+    assert_eq!(s.items_never_built, 9995);
+}
+
+#[test]
+fn exists_probe_pulls_one_tuple() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("exists(for $i in 1 to 100000 where $i mod 2 eq 0 return $i)")
+        .unwrap();
+    assert_eq!(as_string(&out), "true");
+    let s = engine.opt_stats();
+    assert_eq!(s.tuples_pulled, 1, "the first surviving tuple decides");
+    assert_eq!(s.early_exits, 1);
+}
+
+#[test]
+fn empty_probe_pulls_one_tuple() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("empty(for $i in 1 to 100000 return $i)")
+        .unwrap();
+    assert_eq!(as_string(&out), "false");
+    assert_eq!(engine.opt_stats().tuples_pulled, 1);
+}
+
+#[test]
+fn count_comparison_stops_at_the_cutoff() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("count(for $i in 1 to 100000 return $i) gt 3")
+        .unwrap();
+    assert_eq!(as_string(&out), "true");
+    let s = engine.opt_stats();
+    // floor(3) + 2 pulls decide every comparison against 3.
+    assert_eq!(s.tuples_pulled, 5);
+    assert_eq!(s.early_exits, 1);
+    // Exact counts still come out right below the cutoff.
+    let out = engine
+        .eval_query("count(for $i in 1 to 4 return $i) eq 7")
+        .unwrap();
+    assert_eq!(as_string(&out), "false");
+}
+
+#[test]
+fn positional_predicates_pull_a_bounded_prefix() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("(for $i in 1 to 100000 return $i * $i)[3]")
+        .unwrap();
+    assert_eq!(ints(&out), vec![9]);
+    assert_eq!(engine.opt_stats().tuples_pulled, 3);
+
+    engine.reset_opt_stats();
+    let out = engine
+        .eval_query("(for $i in 1 to 100000 return $i)[position() le 4]")
+        .unwrap();
+    assert_eq!(ints(&out), vec![1, 2, 3, 4]);
+    assert_eq!(engine.opt_stats().tuples_pulled, 4);
+}
+
+#[test]
+fn quantifiers_short_circuit_the_stream() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("some $x in (for $i in 1 to 100000 return $i) satisfies $x eq 3")
+        .unwrap();
+    assert_eq!(as_string(&out), "true");
+    assert_eq!(engine.opt_stats().tuples_pulled, 3);
+}
+
+#[test]
+fn kill_switch_restores_eager_evaluation() {
+    let engine = Engine::new();
+    engine.set_lazy(false);
+    let out = engine
+        .eval_query("subsequence(for $i in 1 to 1000 return $i, 1, 5)")
+        .unwrap();
+    assert_eq!(ints(&out), vec![1, 2, 3, 4, 5]);
+    let s = engine.opt_stats();
+    assert_eq!(s.tuples_pulled, 0, "no stream engages with lazy off");
+    assert_eq!(s.early_exits, 0);
+    assert_eq!(s.items_never_built, 0);
+}
+
+#[test]
+fn errors_inside_the_consumed_window_still_raise() {
+    let engine = Engine::new();
+    let err = engine
+        .eval_query("subsequence(for $i in (0, 2) return 10 idiv $i, 1, 1)")
+        .unwrap_err();
+    assert!(err.is(ErrorCode::FOAR0001), "got {err:?}");
+}
+
+#[test]
+fn errors_past_the_early_exit_are_never_evaluated() {
+    // Documented deviation (DESIGN §11): the eager engine drains the
+    // whole chain and hits the division by zero; the lazy engine stops
+    // at the window's edge and never evaluates the poisoned tuple.
+    let engine = Engine::new();
+    let out = engine
+        .eval_query("subsequence(for $i in (1, 2, 0, 4) return 10 idiv $i, 1, 2)")
+        .unwrap();
+    assert_eq!(ints(&out), vec![10, 5]);
+    engine.set_lazy(false);
+    let err = engine
+        .eval_query("subsequence(for $i in (1, 2, 0, 4) return 10 idiv $i, 1, 2)")
+        .unwrap_err();
+    assert!(err.is(ErrorCode::FOAR0001));
+}
+
+#[test]
+fn lazy_entry_point_returns_a_pull_stream() {
+    let engine = Engine::new();
+    let seq = engine
+        .eval_query_lazy("for $i in 1 to 5 return $i + 1")
+        .unwrap();
+    assert!(seq.is_lazy());
+    assert_eq!(engine.opt_stats().tuples_pulled, 0, "nothing pulled yet");
+    let mut got = Vec::new();
+    let mut i = 0;
+    while let Some(item) = seq.try_item(i).unwrap() {
+        got.push(item.string_value());
+        i += 1;
+    }
+    assert_eq!(got, vec!["2", "3", "4", "5", "6"]);
+    assert_eq!(engine.opt_stats().tuples_pulled, 5);
+    assert_eq!(engine.opt_stats().early_exits, 0, "a drained stream is not an early exit");
+}
+
+#[test]
+fn nested_streams_compose() {
+    // The inner chain feeds the outer `for` as a lazy source; paging
+    // the outer output pulls both pipelines only as far as the page.
+    let engine = Engine::new();
+    let out = engine
+        .eval_query(
+            "subsequence(for $x in (for $i in 1 to 10000 return $i * 10) \
+             where $x ge 30 return $x, 1, 2)",
+        )
+        .unwrap();
+    assert_eq!(ints(&out), vec![30, 40]);
+    let s = engine.opt_stats();
+    assert!(s.tuples_pulled < 20, "pulled {}", s.tuples_pulled);
+}
+
+#[test]
+fn order_by_falls_back_to_eager() {
+    let engine = Engine::new();
+    let out = engine
+        .eval_query(
+            "subsequence(for $i in (3, 1, 2) order by $i descending return $i, 1, 2)",
+        )
+        .unwrap();
+    assert_eq!(ints(&out), vec![3, 2]);
+    assert_eq!(engine.opt_stats().tuples_pulled, 0, "sorts are a barrier");
+}
+
+#[test]
+fn streamed_flwor_matches_eager_output() {
+    // Value parity both kill-switch ways across a grab-bag of shapes.
+    let queries = [
+        "for $i in 1 to 20 where $i mod 3 eq 0 return $i",
+        "for $i in 1 to 5, $j in 1 to 3 return $i * 10 + $j",
+        "for $i at $p in (10, 20, 30) return $p + $i",
+        "for $i in 1 to 10 let $d := $i * 2 where $d gt 10 return $d",
+        "subsequence(for $i in 1 to 50 return <n>{$i}</n>, 5, 3)",
+    ];
+    for q in queries {
+        let lazy_engine = Engine::new();
+        let eager_engine = Engine::new();
+        eager_engine.set_lazy(false);
+        let a = serialize_sequence(&lazy_engine.eval_query(q).unwrap());
+        let b = serialize_sequence(&eager_engine.eval_query(q).unwrap());
+        assert_eq!(a, b, "lazy/eager divergence for {q}");
+    }
+}

@@ -9,12 +9,18 @@ compared:
 * timing columns (header ends in `_ms`, contains `(ms)`, or ends in
   `(µs)`): lower is better; a fresh value more than --warn-pct %
   *slower* than baseline is a (warn-level) regression -> exit 1.
-* throughput columns (header contains `qps` or `nodes/s`): higher is
-  better; a
+* throughput columns (header contains `qps`, `nodes/s`, or
+  `speedup` — the E16/E17 ablation ratio): higher is better; a
   fresh value more than --warn-pct % *lower* is a warn-level
   regression, and a drop beyond --qps-fail-pct % on a `pool-4` row
   (the E14 4-worker serving-pool arm) is a HARD failure -> exit 2.
   check.sh treats exit 1 as a warning and exit 2 as a gate failure.
+
+Rows are matched by their non-measured columns (scale, workload,
+deterministic counts) so a quick-mode fresh run compares against the
+scales it shares with a full-mode baseline (E16/E17 commit full-mode
+baselines); experiments whose keys don't overlap at all fall back to
+positional matching.
 """
 
 import json
@@ -34,8 +40,48 @@ def qps_columns(header):
     return [
         i
         for i, h in enumerate(header)
-        if "qps" in h.lower() or "nodes/s" in h.lower()
+        if "qps" in h.lower() or "nodes/s" in h.lower() or "speedup" in h.lower()
     ]
+
+
+def match_rows(base_rows, fresh_rows, measured):
+    """Pair rows by their non-measured columns; positional fallback.
+
+    Measured columns and float-valued cells (derived ratios vary run
+    to run) are excluded from the key, which leaves scales, workload
+    labels, and deterministic counts. Returns a list of
+    (base_row_index, base_row, fresh_row) pairs.
+    """
+    def keyable(cell):
+        s = str(cell)
+        if "." not in s:
+            return True
+        try:
+            float(s)
+        except ValueError:
+            return True
+        return False
+
+    def key(row):
+        return tuple(
+            str(c)
+            for i, c in enumerate(row)
+            if i not in measured and keyable(c)
+        )
+
+    index = {}
+    for i, brow in enumerate(base_rows):
+        index.setdefault(key(brow), []).append((i, brow))
+    pairs = []
+    for frow in fresh_rows:
+        bucket = index.get(key(frow))
+        if bucket:
+            pairs.append((*bucket.pop(0), frow))
+    if not pairs:
+        # No shared keys (header drift, renamed labels): fall back to
+        # the historical positional zip so coverage never drops to zero.
+        pairs = [(i, b, f) for i, (b, f) in enumerate(zip(base_rows, fresh_rows))]
+    return pairs
 
 
 def main(argv):
@@ -65,7 +111,8 @@ def main(argv):
             continue
         t_cols = timing_columns(base["header"])
         q_cols = qps_columns(base["header"])
-        for row_i, (brow, frow) in enumerate(zip(base["rows"], fresh["rows"])):
+        measured = set(t_cols) | set(q_cols)
+        for row_i, brow, frow in match_rows(base["rows"], fresh["rows"], measured):
             for c in t_cols:
                 try:
                     b, f = float(brow[c]), float(frow[c])

@@ -1,7 +1,7 @@
 //! xqsh — a small driver for XQSE programs.
 //!
 //! Usage:
-//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--no-batch] [--no-graft] [--doc URI=FILE]...
+//!   xqsh <file.xqse> [--trace] [--xqueryp] [--explain] [--no-opt] [--no-batch] [--no-graft] [--no-lazy] [--doc URI=FILE]...
 //!   echo '{ return value 1 + 1; }' | xqsh -
 //!   xqsh --repl < lines.xqse
 //!   xqsh --serve-bench N [--requests R] [--delay-us D] [--explain]
@@ -18,7 +18,15 @@
 //! and source-batching layer (equivalent to XQSE_DISABLE_BATCH=1);
 //! `--no-graft` disables zero-copy subtree adoption in constructors
 //! (equivalent to XQSE_DISABLE_GRAFT=1 — the E16 ablation);
+//! `--no-lazy` disables pipelined lazy FLWOR evaluation (equivalent
+//! to XQSE_DISABLE_LAZY=1 — the E17 ablation);
 //! `--doc` registers an XML file so `fn:doc("URI")` resolves.
+//!
+//! In script mode the result is serialized **incrementally**: items
+//! are written (and stdout flushed) as the lazy stream yields them,
+//! so time-to-first-byte tracks the first tuple, not the last. A
+//! mid-stream error can therefore leave partial output on stdout
+//! before the error report on stderr (see DESIGN.md §11).
 //!
 //! `--repl` reads stdin line by line, evaluating each non-empty line
 //! as its own program against one shared engine and context. Repeated
@@ -58,17 +66,23 @@ use xqse::Xqse;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xqsh <file.xqse | - | --repl> [--trace] [--xqueryp] [--explain] \
-         [--no-opt] [--no-batch] [--no-graft] [--deadline-ms MS] [--fuel N] \
-         [--doc URI=FILE]...\n       \
+         [--no-opt] [--no-batch] [--no-graft] [--no-lazy] [--deadline-ms MS] \
+         [--fuel N] [--doc URI=FILE]...\n       \
          xqsh --serve-bench N [--requests R] [--delay-us D] [--overload] \
          [--deadline-ms MS] [--fuel N] [--explain]"
     );
     ExitCode::from(2)
 }
 
-fn print_explain_stats(s: &OptStats, optimize: bool, batch: bool) {
+fn print_explain_stats(s: &OptStats, optimize: bool, batch: bool, graft: bool, lazy: bool) {
+    // Every feature flag and every counter group prints
+    // unconditionally — zero-valued counters included — so bench
+    // scripts can parse the explain block without first guessing
+    // which features were engaged on this run.
     eprintln!("explain: optimize = {optimize}");
     eprintln!("explain: batch    = {batch}");
+    eprintln!("explain: graft    = {graft}");
+    eprintln!("explain: lazy     = {lazy}");
     eprintln!(
         "explain: join cache     hits={} misses={} invalidations={}",
         s.join_hits, s.join_misses, s.join_invalidations
@@ -107,6 +121,10 @@ fn print_explain_stats(s: &OptStats, optimize: bool, batch: bool) {
          deep-copy-nodes-avoided={} interned-hits={}",
         s.nodes_built, s.subtrees_grafted, s.deep_copy_nodes_avoided, s.interned_hits
     );
+    eprintln!(
+        "explain: streaming      tuples-pulled={} early-exits={} items-never-built={}",
+        s.tuples_pulled, s.early_exits, s.items_never_built
+    );
 }
 
 fn print_explain(engine: &Engine) {
@@ -114,6 +132,8 @@ fn print_explain(engine: &Engine) {
         &engine.opt_stats(),
         engine.optimize_enabled(),
         engine.batch_enabled(),
+        engine.graft_enabled(),
+        engine.lazy_enabled(),
     );
 }
 
@@ -129,6 +149,7 @@ fn serve_bench(
     deadline_ms: Option<u64>,
     fuel: Option<u64>,
     no_graft: bool,
+    no_lazy: bool,
 ) -> ExitCode {
     use aldsp::demo;
     use aldsp::pool::{
@@ -166,11 +187,15 @@ fn serve_bench(
             &db2,
             WebService::credit_rating_delayed(demo::CREDIT_TYPES_NS, delay_us),
         );
-        // Per-worker engines read XQSE_DISABLE_GRAFT themselves at
-        // construction; the --no-graft flag has to reach them here.
-        if no_graft {
-            if let Ok(s) = &space {
+        // Per-worker engines read XQSE_DISABLE_GRAFT / _LAZY themselves
+        // at construction; the --no-graft/--no-lazy flags have to
+        // reach them here.
+        if let Ok(s) = &space {
+            if no_graft {
                 s.engine().set_graft(false);
+            }
+            if no_lazy {
+                s.engine().set_lazy(false);
             }
         }
         space
@@ -241,9 +266,18 @@ fn serve_bench(
         }
     }
     if explain {
-        // Aggregated per-worker counters, one totals line (the pool
-        // always runs with the default optimize/batch settings).
-        print_explain_stats(&report.stats, true, true);
+        // Aggregated per-worker counters, one totals block. The pool
+        // has no single engine to query, so the feature lines mirror
+        // what the per-worker engines computed: env kill switch
+        // combined with the CLI flag.
+        let env_on = |k: &str| !matches!(std::env::var(k).as_deref(), Ok("1"));
+        print_explain_stats(
+            &report.stats,
+            env_on("XQSE_DISABLE_OPT"),
+            env_on("XQSE_DISABLE_BATCH"),
+            !no_graft && env_on("XQSE_DISABLE_GRAFT"),
+            !no_lazy && env_on("XQSE_DISABLE_LAZY"),
+        );
     }
     if errors > 0 || report.init_errors.iter().any(Option::is_some) {
         ExitCode::FAILURE
@@ -261,6 +295,7 @@ fn main() -> ExitCode {
     let mut no_opt = false;
     let mut no_batch = false;
     let mut no_graft = false;
+    let mut no_lazy = false;
     let mut repl = false;
     let mut serve_workers: Option<usize> = None;
     let mut serve_requests: usize = 64;
@@ -278,6 +313,7 @@ fn main() -> ExitCode {
             "--no-opt" => no_opt = true,
             "--no-batch" => no_batch = true,
             "--no-graft" => no_graft = true,
+            "--no-lazy" => no_lazy = true,
             "--repl" => repl = true,
             "--overload" => overload = true,
             "--deadline-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
@@ -324,6 +360,7 @@ fn main() -> ExitCode {
             deadline_ms,
             fuel,
             no_graft,
+            no_lazy,
         );
     }
     if overload || (repl && (source_arg.is_some() || sequential)) {
@@ -339,6 +376,9 @@ fn main() -> ExitCode {
     }
     if no_graft {
         engine.set_graft(false);
+    }
+    if no_lazy {
+        engine.set_lazy(false);
     }
     if deadline_ms.is_some() || fuel.is_some() {
         // One budget covers the whole script (or repl session), on
@@ -432,13 +472,33 @@ fn main() -> ExitCode {
     };
 
     let mut env = Env::new();
-    let result = if sequential {
+    let status = if sequential {
+        // The XQueryP baseline stays fully eager: it is the §IV
+        // comparison point, so its output path is the batch one.
         let xp = XqueryP::with_engine(engine.clone());
-        xp.run_with_env(&src, &mut env)
+        match xp.run_with_env(&src, &mut env) {
+            Ok(seq) => {
+                println!("{}", xmlparse::serialize_sequence(&seq));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xqsh: {e}");
+                ExitCode::FAILURE
+            }
+        }
     } else {
         let xqse = Xqse::with_engine(engine.clone());
-        xqse.run_with_env(&src, &mut env)
+        match xqse.run_lazy_with_env(&src, &mut env) {
+            Ok(seq) => emit_streaming(&seq),
+            Err(e) => {
+                eprintln!("xqsh: {e}");
+                ExitCode::FAILURE
+            }
+        }
     };
+    // Trace and explain print after the drain: a lazy result only
+    // runs (and only bumps the streaming counters) while it is being
+    // serialized above.
     if trace {
         for line in env.trace_messages() {
             eprintln!("trace: {line}");
@@ -447,14 +507,44 @@ fn main() -> ExitCode {
     if explain {
         print_explain(&engine);
     }
-    match result {
-        Ok(seq) => {
-            println!("{}", xmlparse::serialize_sequence(&seq));
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("xqsh: {e}");
-            ExitCode::FAILURE
+    status
+}
+
+/// Drain a (possibly lazy) result sequence to stdout incrementally,
+/// flushing after every item so the first tuple is visible before the
+/// last one is computed. A mid-stream error leaves the already-emitted
+/// prefix on stdout and reports the error on stderr — the documented
+/// streaming deviation (DESIGN.md §11).
+fn emit_streaming(seq: &xdm::Sequence) -> ExitCode {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut ser = xmlparse::IncrementalSerializer::new();
+    let mut i = 0usize;
+    loop {
+        match seq.try_item(i) {
+            Ok(Some(item)) => {
+                ser.write_item(&item);
+                if out.write_all(ser.take_delta().as_bytes()).is_err() || out.flush().is_err() {
+                    eprintln!("xqsh: failed to write stdout");
+                    return ExitCode::FAILURE;
+                }
+                i += 1;
+            }
+            Ok(None) => {
+                let _ = out.write_all(b"\n");
+                let _ = out.flush();
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                if i > 0 {
+                    // Terminate the partial line before reporting.
+                    let _ = out.write_all(b"\n");
+                    let _ = out.flush();
+                }
+                eprintln!("xqsh: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 }

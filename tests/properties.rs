@@ -521,3 +521,195 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------- lazy / eager equivalence
+
+/// The consumer wrapped around a generated FLWOR — the early-exit
+/// shapes the streaming evaluator intercepts, plus a full drain.
+#[derive(Debug, Clone)]
+enum LazyConsumer {
+    Full,
+    Exists,
+    Empty,
+    CountGt(usize),
+    Subsequence(usize, usize),
+    Positional(usize),
+    SomeGe(usize),
+    EveryLt(usize),
+}
+
+fn lazy_consumer_strategy() -> impl Strategy<Value = LazyConsumer> {
+    prop_oneof![
+        Just(LazyConsumer::Full),
+        Just(LazyConsumer::Exists),
+        Just(LazyConsumer::Empty),
+        (0usize..20).prop_map(LazyConsumer::CountGt),
+        ((1usize..30), (1usize..10))
+            .prop_map(|(s, l)| LazyConsumer::Subsequence(s, l)),
+        (1usize..30).prop_map(LazyConsumer::Positional),
+        (1usize..40).prop_map(LazyConsumer::SomeGe),
+        (1usize..40).prop_map(LazyConsumer::EveryLt),
+    ]
+}
+
+/// Render the generated query. The base FLWOR filters with `mod` so
+/// the result is a strict, non-trivial subset of the range; quantified
+/// consumers use an atomized body (their bindings are items, not
+/// constructed elements).
+fn lazy_query(n: usize, m: usize, consumer: &LazyConsumer) -> String {
+    let base = format!("for $i in 1 to {n} where $i mod {m} ne 0 return <r>{{$i}}</r>");
+    let atoms = format!("for $i in 1 to {n} where $i mod {m} ne 0 return $i * 2");
+    match consumer {
+        LazyConsumer::Full => base,
+        LazyConsumer::Exists => format!("fn:exists({base})"),
+        LazyConsumer::Empty => format!("fn:empty({base})"),
+        LazyConsumer::CountGt(k) => format!("fn:count({base}) gt {k}"),
+        LazyConsumer::Subsequence(s, l) => format!("fn:subsequence({base}, {s}, {l})"),
+        LazyConsumer::Positional(k) => format!("({base})[{k}]"),
+        LazyConsumer::SomeGe(k) => format!("some $x in ({atoms}) satisfies $x ge {k}"),
+        LazyConsumer::EveryLt(k) => format!("every $x in ({atoms}) satisfies $x lt {k}"),
+    }
+}
+
+/// Run a query through the pipelined entry point and drain it with the
+/// streaming serializer. Returns the serialized bytes (or the error
+/// text) plus the engine's `tuples_pulled` counter.
+fn run_lazy(src: &str) -> (Result<String, String>, u64, bool) {
+    use xqse_repro::xmlparse::serialize_sequence_stream;
+    let xqse = Xqse::new();
+    let lazy_on = xqse.engine().lazy_enabled();
+    let mut env = xqse_repro::xqeval::Env::new();
+    let res = xqse
+        .run_lazy_with_env(src, &mut env)
+        .and_then(|s| serialize_sequence_stream(&s))
+        .map_err(|e| e.to_string());
+    (res, xqse.engine().opt_stats().tuples_pulled, lazy_on)
+}
+
+/// Run the same query fully eagerly via the kill switch.
+fn run_eager(src: &str) -> Result<String, String> {
+    let xqse = Xqse::new();
+    xqse.engine().set_lazy(false);
+    xqse.run(src)
+        .map(|s| xqse_repro::xmlparse::serialize_sequence(&s))
+        .map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pipelined evaluation is observationally equal to eager
+    /// evaluation on fault-free queries: byte-identical serialization
+    /// and `string_value`, across every intercepted consumer shape —
+    /// with the pull counter proving the stream actually engaged.
+    #[test]
+    fn lazy_agrees_with_eager(
+        n in 1usize..40,
+        m in 2usize..5,
+        consumer in lazy_consumer_strategy(),
+    ) {
+        let src = lazy_query(n, m, &consumer);
+        let (lazy, pulled, lazy_on) = run_lazy(&src);
+        let eager = run_eager(&src);
+        prop_assert_eq!(&lazy, &eager, "query: {}", src);
+
+        // string_value must agree too (it has its own pull path).
+        let a = Xqse::new();
+        let mut env = xqse_repro::xqeval::Env::new();
+        let sv_lazy = a.run_lazy_with_env(&src, &mut env)
+            .and_then(|s| s.string_value())
+            .map_err(|e| e.to_string());
+        let b = Xqse::new();
+        b.engine().set_lazy(false);
+        let sv_eager = b.run(&src)
+            .and_then(|s| s.string_value())
+            .map_err(|e| e.to_string());
+        prop_assert_eq!(sv_lazy, sv_eager, "query: {}", src);
+
+        // The base FLWOR always yields at least one tuple (1 mod m is
+        // never 0 for m > 1), so a live stream must have pulled.
+        if lazy_on {
+            prop_assert!(pulled >= 1, "stream never engaged for: {}", src);
+        }
+    }
+
+    /// A fault inside the stream raises the same error lazily and
+    /// eagerly on a full drain, and the lazy drain yields exactly the
+    /// items before the faulting tuple first.
+    #[test]
+    fn mid_stream_faults_agree_with_eager(n in 2usize..30, f in 1usize..30) {
+        let f = 1 + (f - 1) % n; // fault lands inside the range
+        let src = format!(
+            "for $i in 1 to {n} return <r>{{ if ($i eq {f}) then 1 idiv 0 else $i }}</r>"
+        );
+        let (lazy, _, lazy_on) = run_lazy(&src);
+        let eager = run_eager(&src);
+        prop_assert!(lazy.is_err() && eager.is_err(), "both must fault: {}", src);
+        prop_assert_eq!(lazy.as_ref().unwrap_err(), eager.as_ref().unwrap_err());
+        prop_assert!(lazy.unwrap_err().contains("FOAR0001"));
+
+        // Partial drain: items strictly before the fault come out.
+        let xqse = Xqse::new();
+        let mut env = xqse_repro::xqeval::Env::new();
+        let seq = xqse.run_lazy_with_env(&src, &mut env).unwrap();
+        let mut got = 0usize;
+        let err = loop {
+            match seq.try_item(got) {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        if lazy_on {
+            prop_assert_eq!(got, f - 1, "items before the faulting tuple");
+            prop_assert!(err.is_some());
+        } else {
+            // Kill-switch arm: the error surfaced at run time instead.
+            prop_assert!(err.is_some() || got == 0);
+        }
+    }
+
+    /// Mid-stream budget expiry: a fuel-limited lazy drain either
+    /// completes or stops with `FUEL_EXHAUSTED`, and whatever prefix
+    /// it emitted is a byte prefix of the unbudgeted eager output.
+    #[test]
+    fn mid_stream_budget_expiry_is_clean(n in 10usize..40, fuel in 5usize..200) {
+        use xqse_repro::xmlparse::IncrementalSerializer;
+        let src = format!("for $i in 1 to {n} return <r>{{$i}}</r>");
+        let full = run_eager(&src).unwrap();
+
+        let xqse = Xqse::new();
+        let budget = xqse_repro::xqeval::Budget::unlimited().limit_fuel(fuel as u64);
+        xqse.engine().set_budget(Some(std::sync::Arc::new(budget)));
+        let mut env = xqse_repro::xqeval::Env::new();
+        let mut ser = IncrementalSerializer::new();
+        let outcome = xqse.run_lazy_with_env(&src, &mut env).map(|seq| {
+            let mut i = 0usize;
+            loop {
+                match seq.try_item(i) {
+                    Ok(Some(item)) => {
+                        ser.write_item(&item);
+                        i += 1;
+                    }
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            }
+        });
+        let prefix = ser.finish();
+        match outcome {
+            Ok(None) => prop_assert_eq!(prefix, full), // fuel sufficed
+            Ok(Some(e)) => {
+                prop_assert!(
+                    e.to_string().contains("FUEL_EXHAUSTED"),
+                    "unexpected mid-stream error: {}", e
+                );
+                prop_assert!(
+                    full.starts_with(&prefix),
+                    "partial output must be a prefix: {:?}", prefix
+                );
+            }
+            Err(e) => prop_assert!(e.to_string().contains("FUEL_EXHAUSTED")),
+        }
+    }
+}
